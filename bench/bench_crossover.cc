@@ -1,0 +1,80 @@
+// Experiment E2: the folk-theorem gap and its crossover.
+//
+// Two sweeps at fixed n:
+//  * density sweep on G(n, m): KKT messages stay flat in m, flooding-style
+//    costs (and GHS's worst case) grow linearly;
+//  * the hierarchical complete graph family (GHS's Theta(m) worst case),
+//    where KKT overtakes GHS between n = 256 and n = 512.
+#include "baseline/flood_st.h"
+#include "baseline/ghs.h"
+#include "bench_util.h"
+#include "core/build_mst.h"
+
+namespace kkt::bench {
+namespace {
+
+// E2a: message count vs density at n = 256. KKT should be ~flat.
+void BM_Crossover_Kkt_DensitySweep(benchmark::State& state) {
+  const std::size_t n = 256;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    World w = make_gnm_world(n, m, 50);
+    core::build_mst(*w.net, *w.forest);
+    report(state, w.net->metrics(), n, m);
+  }
+}
+BENCHMARK(BM_Crossover_Kkt_DensitySweep)
+    ->Arg(512)->Arg(2048)->Arg(8192)->Arg(32640)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E2b: GHS on the same sweep (random weights).
+void BM_Crossover_Ghs_DensitySweep(benchmark::State& state) {
+  const std::size_t n = 256;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    World w = make_gnm_world(n, m, 50);
+    baseline::ghs_build_mst(*w.net, *w.forest);
+    report(state, w.net->metrics(), n, m);
+  }
+}
+BENCHMARK(BM_Crossover_Ghs_DensitySweep)
+    ->Arg(512)->Arg(2048)->Arg(8192)->Arg(32640)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E2c/E2d: the hierarchical worst case, n = 2^levels; the crossover.
+void BM_Crossover_Kkt_Hierarchical(benchmark::State& state) {
+  const int levels = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(51);
+    auto g = std::make_unique<graph::Graph>(
+        graph::hierarchical_complete(levels, rng));
+    const std::size_t n = g->node_count(), m = g->edge_count();
+    World w = make_world(std::move(g), 51);
+    core::build_mst(*w.net, *w.forest);
+    report(state, w.net->metrics(), n, m);
+  }
+}
+BENCHMARK(BM_Crossover_Kkt_Hierarchical)
+    ->Arg(6)->Arg(7)->Arg(8)->Arg(9)->Arg(10)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Crossover_Ghs_Hierarchical(benchmark::State& state) {
+  const int levels = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(51);
+    auto g = std::make_unique<graph::Graph>(
+        graph::hierarchical_complete(levels, rng));
+    const std::size_t n = g->node_count(), m = g->edge_count();
+    World w = make_world(std::move(g), 51);
+    baseline::ghs_build_mst(*w.net, *w.forest);
+    report(state, w.net->metrics(), n, m);
+  }
+}
+BENCHMARK(BM_Crossover_Ghs_Hierarchical)
+    ->Arg(6)->Arg(7)->Arg(8)->Arg(9)->Arg(10)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kkt::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,177 @@
+// Experiments E10 and E12: FindMin's broadcast-and-echo complexity.
+//
+//  E10 (Lemma 2): FindMin uses O(log n / log log n) broadcast-and-echoes;
+//      the w-ablation (w = 2 binary search vs wide w) shows the lg w
+//      speedup; FindMin-C matches the expectation in the worst case.
+//  E12 (Appendix A): wide (64-bit) raw weights -- the oblivious w-wise
+//      search degrades towards lg(u)/lg(w) narrowings while the sampling
+//      variant stays near O(log n / log log n) (see core/sample_find_min).
+#include "bench_util.h"
+#include "core/find_min.h"
+#include "core/sample_find_min.h"
+#include "proto/tree_ops.h"
+
+namespace kkt::bench {
+namespace {
+
+struct CutWorld {
+  World w;
+  graph::NodeId root = 0;
+};
+
+CutWorld make_cut_world(std::size_t n, std::size_t m, std::uint64_t seed,
+                        graph::Weight max_weight = 1u << 20) {
+  util::Rng rng(seed);
+  auto g = std::make_unique<graph::Graph>(
+      graph::random_connected_gnm(n, m, {max_weight}, rng));
+  CutWorld cw{make_world(std::move(g), seed ^ 0xf1dc)};
+  mark_msf(cw.w);
+  const auto tree = cw.w.forest->marked_edges();
+  const graph::EdgeIdx split = tree[tree.size() / 3];
+  cw.w.forest->clear_edge(split);
+  cw.root = cw.w.g->edge(split).u;
+  return cw;
+}
+
+// E10a: broadcast-and-echoes per FindMin call vs n.
+void BM_FindMin_BroadcastEchoes(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kOps = 20;
+  for (auto _ : state) {
+    std::uint64_t bes = 0, msgs = 0;
+    int found = 0;
+    for (int i = 0; i < kOps; ++i) {
+      CutWorld cw = make_cut_world(n, 8 * n, 100 + i);
+      proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+      found += core::find_min(ops, cw.root).found;
+      bes += cw.w.net->metrics().broadcast_echoes;
+      msgs += cw.w.net->metrics().messages;
+    }
+    state.counters["n"] = static_cast<double>(n);
+    state.counters["bcast_echoes_per_op"] =
+        static_cast<double>(bes) / kOps;
+    state.counters["messages_per_op"] = static_cast<double>(msgs) / kOps;
+    state.counters["found"] = found;
+    state.counters["lg_n_over_lglg_n"] =
+        std::log2(static_cast<double>(n)) /
+        std::log2(std::log2(static_cast<double>(n)));
+  }
+}
+BENCHMARK(BM_FindMin_BroadcastEchoes)
+    ->Arg(64)->Arg(256)->Arg(1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E10b: ablation over the slice width w (2 = binary search).
+void BM_FindMin_WidthAblation(benchmark::State& state) {
+  const int w_param = static_cast<int>(state.range(0));
+  const std::size_t n = 256;
+  constexpr int kOps = 20;
+  for (auto _ : state) {
+    std::uint64_t bes = 0;
+    for (int i = 0; i < kOps; ++i) {
+      CutWorld cw = make_cut_world(n, 8 * n, 120 + i);
+      proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+      core::FindMinConfig cfg;
+      cfg.w = w_param;
+      core::find_min(ops, cw.root, cfg);
+      bes += cw.w.net->metrics().broadcast_echoes;
+    }
+    state.counters["w"] = w_param;
+    state.counters["bcast_echoes_per_op"] =
+        static_cast<double>(bes) / kOps;
+  }
+}
+BENCHMARK(BM_FindMin_WidthAblation)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E10c: hash-amplification ablation (1 = the paper's single-hash TestOut).
+void BM_FindMin_AmplificationAblation(benchmark::State& state) {
+  const int reps = static_cast<int>(state.range(0));
+  const std::size_t n = 256;
+  constexpr int kOps = 20;
+  for (auto _ : state) {
+    std::uint64_t bes = 0;
+    for (int i = 0; i < kOps; ++i) {
+      CutWorld cw = make_cut_world(n, 8 * n, 140 + i);
+      proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+      core::FindMinConfig cfg;
+      cfg.hash_reps = reps;
+      core::find_min(ops, cw.root, cfg);
+      bes += cw.w.net->metrics().broadcast_echoes;
+    }
+    state.counters["hash_reps"] = reps;
+    state.counters["bcast_echoes_per_op"] =
+        static_cast<double>(bes) / kOps;
+  }
+}
+BENCHMARK(BM_FindMin_AmplificationAblation)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E10d: FindMin-C success rate (Lemma 2: >= 2/3 - n^-c; failures are
+// always empty answers, never wrong edges).
+void BM_FindMinC_SuccessRate(benchmark::State& state) {
+  const std::size_t n = 128;
+  constexpr int kOps = 100;
+  for (auto _ : state) {
+    int successes = 0;
+    for (int i = 0; i < kOps; ++i) {
+      CutWorld cw = make_cut_world(n, 8 * n, 160 + i);
+      proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+      successes += core::find_min_c(ops, cw.root).found;
+    }
+    state.counters["success_rate"] =
+        static_cast<double>(successes) / kOps;
+    state.counters["paper_lower_bound"] = 2.0 / 3.0;
+  }
+}
+BENCHMARK(BM_FindMinC_SuccessRate)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E12: wide (up to 2^48) weights -- oblivious w-wise search vs the
+// Appendix-A sampling pivots.
+void BM_FindMin_WideWeights_Oblivious(benchmark::State& state) {
+  const std::size_t n = 256;
+  constexpr int kOps = 15;
+  for (auto _ : state) {
+    std::uint64_t bes = 0;
+    for (int i = 0; i < kOps; ++i) {
+      CutWorld cw =
+          make_cut_world(n, 8 * n, 180 + i, graph::Weight{1} << 48);
+      proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+      core::find_min(ops, cw.root);
+      bes += cw.w.net->metrics().broadcast_echoes;
+    }
+    state.counters["bcast_echoes_per_op"] =
+        static_cast<double>(bes) / kOps;
+  }
+}
+BENCHMARK(BM_FindMin_WideWeights_Oblivious)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_FindMin_WideWeights_Sampling(benchmark::State& state) {
+  const std::size_t n = 256;
+  constexpr int kOps = 15;
+  for (auto _ : state) {
+    std::uint64_t bes = 0;
+    int found = 0;
+    for (int i = 0; i < kOps; ++i) {
+      CutWorld cw =
+          make_cut_world(n, 8 * n, 180 + i, graph::Weight{1} << 48);
+      proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+      found += core::sample_find_min(ops, cw.root).found;
+      bes += cw.w.net->metrics().broadcast_echoes;
+    }
+    state.counters["bcast_echoes_per_op"] =
+        static_cast<double>(bes) / kOps;
+    state.counters["found"] = found;
+  }
+}
+BENCHMARK(BM_FindMin_WideWeights_Sampling)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kkt::bench
+
+BENCHMARK_MAIN();

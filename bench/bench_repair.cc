@@ -1,0 +1,198 @@
+// Experiments E4/E5/E6 (Theorem 1.2): impromptu repair on an asynchronous
+// network.
+//
+//  E4: MST tree-edge deletion, expected O(n log n / log log n) messages.
+//  E5: ST tree-edge deletion, expected O(n) messages.
+//  E6: insertion / weight decrease, deterministic O(n) messages.
+// All compared against the naive probe-everything baseline (Theta(m_T)).
+#include "baseline/naive_repair.h"
+#include "bench_util.h"
+#include "core/repair.h"
+
+namespace kkt::bench {
+namespace {
+
+// Average over several random tree-edge deletions (each on a fresh world so
+// the forest stays the exact MSF).
+template <typename OpFn>
+void run_delete_sweep(benchmark::State& state, std::size_t n, std::size_t m,
+                      OpFn op) {
+  constexpr int kOps = 10;
+  for (auto _ : state) {
+    sim::Metrics total;
+    for (int i = 0; i < kOps; ++i) {
+      World w = make_gnm_world(n, m, 70 + i, NetKind::kAsync);
+      mark_msf(w);
+      const auto tree = w.forest->marked_edges();
+      op(w, tree[(7 * i) % tree.size()]);
+      total += w.net->metrics();
+    }
+    total.messages /= kOps;
+    total.rounds /= kOps;
+    total.broadcast_echoes /= kOps;
+    total.message_bits /= kOps;
+    report(state, total, n, m);
+  }
+}
+
+void BM_Repair_DeleteMst(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 8 * n;
+  run_delete_sweep(state, n, m, [](World& w, graph::EdgeIdx victim) {
+    core::DynamicForest dyn(*w.g, *w.forest, *w.net, core::ForestKind::kMst);
+    dyn.delete_edge(victim);
+  });
+}
+BENCHMARK(BM_Repair_DeleteMst)
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Repair_DeleteSt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 8 * n;
+  run_delete_sweep(state, n, m, [](World& w, graph::EdgeIdx victim) {
+    core::DynamicForest dyn(*w.g, *w.forest, *w.net, core::ForestKind::kSt);
+    dyn.delete_edge(victim);
+  });
+}
+BENCHMARK(BM_Repair_DeleteSt)
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Naive baseline: probe every edge incident to the orphaned tree.
+void BM_Repair_DeleteNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 8 * n;
+  run_delete_sweep(state, n, m, [](World& w, graph::EdgeIdx victim) {
+    const graph::NodeId root = w.g->edge(victim).u;
+    w.g->remove_edge(victim);
+    w.forest->clear_edge(victim);
+    const auto res = baseline::naive_find_min_cut(*w.net, *w.forest, root);
+    if (res.found) {
+      // Mark directly; the baseline's point is the search cost.
+      for (graph::EdgeIdx e : w.g->alive_edge_indices()) {
+        if (w.g->edge_num(e) == res.edge_num) w.forest->mark_edge(e);
+      }
+    }
+  });
+}
+BENCHMARK(BM_Repair_DeleteNaive)
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E4 density independence: deletion cost vs m at fixed n (KKT flat, naive
+// linear).
+void BM_Repair_DeleteMst_DensitySweep(benchmark::State& state) {
+  const std::size_t n = 256;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  run_delete_sweep(state, n, m, [](World& w, graph::EdgeIdx victim) {
+    core::DynamicForest dyn(*w.g, *w.forest, *w.net, core::ForestKind::kMst);
+    dyn.delete_edge(victim);
+  });
+}
+BENCHMARK(BM_Repair_DeleteMst_DensitySweep)
+    ->Arg(512)->Arg(2048)->Arg(8192)->Arg(32640)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_Repair_DeleteNaive_DensitySweep(benchmark::State& state) {
+  const std::size_t n = 256;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  run_delete_sweep(state, n, m, [](World& w, graph::EdgeIdx victim) {
+    const graph::NodeId root = w.g->edge(victim).u;
+    w.g->remove_edge(victim);
+    w.forest->clear_edge(victim);
+    baseline::naive_find_min_cut(*w.net, *w.forest, root);
+  });
+}
+BENCHMARK(BM_Repair_DeleteNaive_DensitySweep)
+    ->Arg(512)->Arg(2048)->Arg(8192)->Arg(32640)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E4b (extension): batched deletions -- k tree edges removed at once,
+// repaired with parallel Boruvka-completion phases. Compare rounds (the
+// parallel win) and messages against k sequential delete_edge calls.
+void BM_Repair_DeleteBatch(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 256, m = 8 * n;
+  for (auto _ : state) {
+    std::uint64_t batch_msgs = 0, batch_rounds = 0;
+    std::uint64_t seq_msgs = 0, seq_rounds = 0;
+    for (int i = 0; i < 5; ++i) {
+      const auto pick_batch = [&](World& w) {
+        util::Rng rng(500 + i);
+        std::vector<graph::EdgeIdx> pool = w.forest->marked_edges();
+        std::vector<graph::EdgeIdx> batch;
+        while (batch.size() < k) {
+          const std::size_t j = rng.below(pool.size());
+          batch.push_back(pool[j]);
+          pool[j] = pool.back();
+          pool.pop_back();
+        }
+        return batch;
+      };
+      {
+        World w = make_gnm_world(n, m, 90 + i, NetKind::kAsync);
+        mark_msf(w);
+        core::DynamicForest dyn(*w.g, *w.forest, *w.net,
+                                core::ForestKind::kMst);
+        const auto out = dyn.delete_batch(pick_batch(w));
+        batch_msgs += out.messages;
+        batch_rounds += out.rounds;
+      }
+      {
+        World w = make_gnm_world(n, m, 90 + i, NetKind::kAsync);
+        mark_msf(w);
+        core::DynamicForest dyn(*w.g, *w.forest, *w.net,
+                                core::ForestKind::kMst);
+        for (graph::EdgeIdx e : pick_batch(w)) {
+          const auto out = dyn.delete_edge(e);
+          seq_msgs += out.messages;
+          seq_rounds += out.rounds;
+        }
+      }
+    }
+    state.counters["k"] = static_cast<double>(k);
+    state.counters["batch_messages"] = static_cast<double>(batch_msgs) / 5;
+    state.counters["batch_rounds"] = static_cast<double>(batch_rounds) / 5;
+    state.counters["seq_messages"] = static_cast<double>(seq_msgs) / 5;
+    state.counters["seq_rounds"] = static_cast<double>(seq_rounds) / 5;
+  }
+}
+BENCHMARK(BM_Repair_DeleteBatch)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E6: insertion repair, deterministic O(n).
+void BM_Repair_Insert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t m = 8 * n;
+  constexpr int kOps = 10;
+  for (auto _ : state) {
+    sim::Metrics total;
+    for (int i = 0; i < kOps; ++i) {
+      World w = make_gnm_world(n, m, 80 + i, NetKind::kAsync);
+      mark_msf(w);
+      core::DynamicForest dyn(*w.g, *w.forest, *w.net,
+                              core::ForestKind::kMst);
+      util::Rng pick(90 + i);
+      graph::NodeId u = 0, v = 0;
+      do {
+        u = static_cast<graph::NodeId>(pick.below(n));
+        v = static_cast<graph::NodeId>(pick.below(n));
+      } while (u == v || w.g->find_edge(u, v).has_value());
+      dyn.insert_edge(u, v, 1 + pick.below(1u << 20));
+      total += w.net->metrics();
+    }
+    total.messages /= kOps;
+    total.rounds /= kOps;
+    report(state, total, n, m);
+  }
+}
+BENCHMARK(BM_Repair_Insert)
+    ->Arg(64)->Arg(128)->Arg(256)->Arg(512)->Arg(1024)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kkt::bench
+
+BENCHMARK_MAIN();

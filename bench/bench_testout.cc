@@ -1,0 +1,135 @@
+// Experiments E7/E8: the probabilistic primitives.
+//
+//  E7 (Section 2.1, [33]): TestOut detects a nonempty cut with probability
+//     >= 1/8 per hash (measured: the empirical rate, and the amplified
+//     variant's rate), and never reports an empty cut as nonempty.
+//  E8 (Section 2.2): HP-TestOut's false-negative rate is ~B/p (measured
+//     as 0 at any feasible trial count) and its one-sided direction holds.
+#include "bench_util.h"
+#include "core/hp_test_out.h"
+#include "core/test_out.h"
+#include "hashing/odd_hash.h"
+#include "proto/tree_ops.h"
+
+namespace kkt::bench {
+namespace {
+
+struct CutWorld {
+  World w;
+  graph::NodeId root = 0;
+};
+
+CutWorld make_cut_world(std::size_t n, std::size_t m, std::uint64_t seed) {
+  CutWorld cw{make_gnm_world(n, m, seed)};
+  mark_msf(cw.w);
+  const auto tree = cw.w.forest->marked_edges();
+  const graph::EdgeIdx split = tree[tree.size() / 2];
+  cw.w.forest->clear_edge(split);
+  // Root at the larger side so the broadcast-and-echo is non-trivial.
+  const auto& ed = cw.w.g->edge(split);
+  cw.root = cw.w.forest->component_of(ed.u).size() >=
+                    cw.w.forest->component_of(ed.v).size()
+                ? ed.u
+                : ed.v;
+  return cw;
+}
+
+// E7: empirical TestOut success rate on a nonempty cut.
+void BM_TestOut_SuccessRate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kTrials = 400;
+  for (auto _ : state) {
+    CutWorld cw = make_cut_world(n, 6 * n, 90);
+    proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+    util::Rng rng(91);
+    int hits = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      hits += core::test_out_any(ops, cw.root, hashing::OddHash::random(rng));
+    }
+    report(state, cw.w.net->metrics(), n, 6 * n);
+    state.counters["success_rate"] =
+        static_cast<double>(hits) / kTrials;
+    state.counters["guaranteed_lower_bound"] = 0.125;
+  }
+}
+BENCHMARK(BM_TestOut_SuccessRate)
+    ->Arg(32)->Arg(128)->Arg(512)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E7b: amplified TestOut (8 hashes / broadcast-and-echo).
+void BM_TestOut_AmplifiedSuccessRate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kTrials = 400;
+  for (auto _ : state) {
+    CutWorld cw = make_cut_world(n, 6 * n, 92);
+    proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+    util::Rng rng(93);
+    const core::Interval all{0, ~util::u128{0} >> 1};
+    int hits = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      hits += core::test_out_sliced_amplified(ops, cw.root, rng.next(), all,
+                                              1, 8) != 0;
+    }
+    report(state, cw.w.net->metrics(), n, 6 * n);
+    state.counters["success_rate"] = static_cast<double>(hits) / kTrials;
+  }
+}
+BENCHMARK(BM_TestOut_AmplifiedSuccessRate)
+    ->Arg(128)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E7c: one-sidedness -- empty cut, many hashes, zero false positives.
+void BM_TestOut_OneSided(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kTrials = 400;
+  for (auto _ : state) {
+    World w = make_gnm_world(n, 6 * n, 94);
+    mark_msf(w);  // whole graph is one tree: empty cut
+    proto::TreeOps ops(*w.net, graph::TreeView(*w.forest));
+    util::Rng rng(95);
+    int false_positives = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      false_positives +=
+          core::test_out_any(ops, 0, hashing::OddHash::random(rng));
+    }
+    report(state, w.net->metrics(), n, 6 * n);
+    state.counters["false_positives"] =
+        static_cast<double>(false_positives);
+  }
+}
+BENCHMARK(BM_TestOut_OneSided)
+    ->Arg(128)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// E8: HP-TestOut -- no false negatives over many nonempty-cut trials, no
+// false positives over many empty-cut trials.
+void BM_HpTestOut_ErrorRates(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr int kTrials = 200;
+  for (auto _ : state) {
+    CutWorld cw = make_cut_world(n, 6 * n, 96);
+    proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+    int false_negatives = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      false_negatives += !core::hp_test_out_any(ops, cw.root).leaving;
+    }
+    World full = make_gnm_world(n, 6 * n, 97);
+    mark_msf(full);
+    proto::TreeOps fops(*full.net, graph::TreeView(*full.forest));
+    int false_positives = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      false_positives += core::hp_test_out_any(fops, 0).leaving;
+    }
+    report(state, cw.w.net->metrics(), n, 6 * n);
+    state.counters["false_negatives"] =
+        static_cast<double>(false_negatives);
+    state.counters["false_positives"] =
+        static_cast<double>(false_positives);
+  }
+}
+BENCHMARK(BM_HpTestOut_ErrorRates)
+    ->Arg(64)->Arg(256)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace kkt::bench
+
+BENCHMARK_MAIN();

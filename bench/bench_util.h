@@ -1,0 +1,78 @@
+// Shared helpers for the experiment harnesses (bench/).
+//
+// These benchmarks measure *model costs* -- messages, bits, rounds,
+// broadcast-and-echoes -- which are deterministic given the seed, not wall
+// time. Each experiment reports its observables as benchmark counters; the
+// rows printed by these binaries are the reproduction's "tables" (see
+// EXPERIMENTS.md for the mapping to the paper's claims).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include <memory>
+
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/mst_oracle.h"
+#include "sim/async_network.h"
+#include "sim/sync_network.h"
+#include "util/rng.h"
+
+namespace kkt::bench {
+
+struct World {
+  std::unique_ptr<graph::Graph> g;
+  std::unique_ptr<graph::MarkedForest> forest;
+  std::unique_ptr<sim::Network> net;
+};
+
+enum class NetKind { kSync, kAsync };
+
+inline World make_world(std::unique_ptr<graph::Graph> g, std::uint64_t seed,
+                        NetKind kind = NetKind::kSync) {
+  World w;
+  w.g = std::move(g);
+  w.forest = std::make_unique<graph::MarkedForest>(*w.g);
+  if (kind == NetKind::kSync) {
+    w.net = std::make_unique<sim::SyncNetwork>(*w.g, seed);
+  } else {
+    w.net = std::make_unique<sim::AsyncNetwork>(*w.g, seed);
+  }
+  return w;
+}
+
+inline World make_gnm_world(std::size_t n, std::size_t m, std::uint64_t seed,
+                            NetKind kind = NetKind::kSync) {
+  util::Rng rng(seed);
+  auto g = std::make_unique<graph::Graph>(
+      graph::random_connected_gnm(n, m, {1u << 20}, rng));
+  return make_world(std::move(g), seed ^ 0x51ed, kind);
+}
+
+// Marks the oracle MSF (used to set up repair scenarios).
+inline void mark_msf(World& w) {
+  for (graph::EdgeIdx e : graph::kruskal_msf(*w.g)) w.forest->mark_edge(e);
+}
+
+// Publishes the standard observables of a finished run.
+inline void report(benchmark::State& state, const sim::Metrics& m,
+                   std::size_t n, std::size_t edges) {
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["m"] = static_cast<double>(edges);
+  state.counters["messages"] = static_cast<double>(m.messages);
+  state.counters["msgs_per_n"] =
+      static_cast<double>(m.messages) / static_cast<double>(n);
+  state.counters["msgs_per_m"] =
+      edges ? static_cast<double>(m.messages) / static_cast<double>(edges)
+            : 0.0;
+  state.counters["rounds"] = static_cast<double>(m.rounds);
+  state.counters["bcast_echoes"] = static_cast<double>(m.broadcast_echoes);
+  state.counters["bits"] = static_cast<double>(m.message_bits);
+  state.counters["peak_state_bits"] =
+      static_cast<double>(m.peak_node_state_bits);
+}
+
+}  // namespace kkt::bench

@@ -1,0 +1,241 @@
+// kkt_lab: a command-line laboratory for the library.
+//
+//   kkt_lab gen   --family gnm|complete|ring|grid|barbell|pa|hier
+//                 [--n N] [--m M] [--levels L] [--maxw W] [--seed S]
+//                 [--out FILE]
+//   kkt_lab build --algo kkt-mst|kkt-st|ghs|flood
+//                 (--in FILE | --family ... as above) [--seed S] [--csv]
+//   kkt_lab repair --kind mst|st --ops K
+//                 (--in FILE | --family ...) [--seed S] [--csv]
+//
+// `build` constructs the requested tree, verifies it (distributed
+// verify_spanning plus the centralized oracle for MSTs) and prints the
+// communication bill with a per-message-tag breakdown. `repair` applies a
+// random update stream with impromptu repair and prints per-op costs.
+// `--csv` emits machine-readable rows for plotting.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baseline/flood_st.h"
+#include "baseline/ghs.h"
+#include "core/build_mst.h"
+#include "core/build_st.h"
+#include "core/repair.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/mst_oracle.h"
+#include "sim/async_network.h"
+#include "sim/sync_network.h"
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::uint64_t num(const std::string& key, std::uint64_t dflt) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool has(const std::string& key) const { return kv.count(key) != 0; }
+};
+
+Args parse(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) continue;
+    const std::string key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.kv[key] = argv[++i];
+    } else {
+      a.kv[key] = "1";
+    }
+  }
+  return a;
+}
+
+kkt::graph::Graph make_graph(const Args& a, kkt::util::Rng& rng) {
+  if (a.has("in")) {
+    std::string err;
+    auto g = kkt::graph::read_graph_file(a.get("in", ""), rng, &err);
+    if (!g) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      std::exit(2);
+    }
+    return *std::move(g);
+  }
+  const std::string family = a.get("family", "gnm");
+  const std::size_t n = a.num("n", 128);
+  const std::size_t m = a.num("m", std::min(8 * n, n * (n - 1) / 2));
+  const kkt::graph::WeightSpec ws{a.num("maxw", 1u << 20)};
+  if (family == "gnm") return kkt::graph::random_connected_gnm(n, m, ws, rng);
+  if (family == "complete") return kkt::graph::complete(n, ws, rng);
+  if (family == "ring") return kkt::graph::ring(n, ws, rng);
+  if (family == "grid") return kkt::graph::grid(n, a.num("cols", n), ws, rng);
+  if (family == "barbell") {
+    return kkt::graph::barbell(n, a.num("path", 3), ws, rng);
+  }
+  if (family == "pa") {
+    return kkt::graph::preferential_attachment(n, a.num("k", 3), ws, rng);
+  }
+  if (family == "hier") {
+    return kkt::graph::hierarchical_complete(
+        static_cast<int>(a.num("levels", 8)), rng);
+  }
+  std::fprintf(stderr, "error: unknown family '%s'\n", family.c_str());
+  std::exit(2);
+}
+
+void print_metrics(const kkt::sim::Metrics& m, std::size_t n, std::size_t em,
+                   bool csv, const char* label) {
+  if (csv) {
+    std::printf("%s,%zu,%zu,%" PRIu64 ",%" PRIu64 ",%" PRIu64 ",%" PRIu64
+                "\n",
+                label, n, em, m.messages, m.rounds, m.broadcast_echoes,
+                m.message_bits);
+    return;
+  }
+  std::printf("cost: %" PRIu64 " messages (%.2f/node, %.3f/edge), %" PRIu64
+              " rounds, %" PRIu64 " B&Es, %" PRIu64 " bits\n",
+              m.messages, double(m.messages) / double(n),
+              double(m.messages) / double(em ? em : 1), m.rounds,
+              m.broadcast_echoes, m.message_bits);
+  std::printf("message breakdown:");
+  for (int t = 0; t < static_cast<int>(kkt::sim::Tag::kTagCount); ++t) {
+    const auto c = m.per_tag[t];
+    if (c != 0) {
+      std::printf("  %s=%" PRIu64, kkt::sim::tag_name(kkt::sim::Tag(t)), c);
+    }
+  }
+  std::printf("\n");
+}
+
+int cmd_gen(const Args& a) {
+  kkt::util::Rng rng(a.num("seed", 1));
+  const kkt::graph::Graph g = make_graph(a, rng);
+  const std::string out = a.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "error: gen requires --out FILE\n");
+    return 2;
+  }
+  if (!kkt::graph::write_graph_file(out, g)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("wrote %s: n=%zu m=%zu\n", out.c_str(), g.node_count(),
+              g.edge_count());
+  return 0;
+}
+
+int cmd_build(const Args& a) {
+  kkt::util::Rng rng(a.num("seed", 1));
+  const kkt::graph::Graph g = make_graph(a, rng);
+  const std::string algo = a.get("algo", "kkt-mst");
+  const bool csv = a.has("csv");
+  kkt::graph::MarkedForest forest(g);
+  kkt::sim::SyncNetwork net(g, a.num("seed", 1) ^ 0xbeef);
+
+  bool ok = false;
+  if (algo == "kkt-mst") {
+    ok = kkt::core::build_mst(net, forest).spanning &&
+         kkt::graph::same_edge_set(forest.marked_edges(),
+                                   kkt::graph::kruskal_msf(g));
+  } else if (algo == "kkt-st") {
+    ok = kkt::core::build_st(net, forest).spanning;
+  } else if (algo == "ghs") {
+    ok = kkt::baseline::ghs_build_mst(net, forest).spanning &&
+         kkt::graph::same_edge_set(forest.marked_edges(),
+                                   kkt::graph::kruskal_msf(g));
+  } else if (algo == "flood") {
+    ok = kkt::baseline::flood_build_st(net, forest).spanning;
+  } else {
+    std::fprintf(stderr, "error: unknown algo '%s'\n", algo.c_str());
+    return 2;
+  }
+
+  const auto before_verify = net.metrics();
+  const auto audit = kkt::core::verify_spanning(net, forest);
+  if (!csv) {
+    std::printf("%s on n=%zu m=%zu: %s; distributed audit: %s (%" PRIu64
+                " extra msgs)\n",
+                algo.c_str(), g.node_count(), g.edge_count(),
+                ok ? "correct" : "WRONG",
+                audit.spanning_forest() ? "spanning forest" : "REJECTED",
+                net.metrics().messages - before_verify.messages);
+  }
+  print_metrics(before_verify, g.node_count(), g.edge_count(), csv,
+                algo.c_str());
+  return ok && audit.spanning_forest() ? 0 : 1;
+}
+
+int cmd_repair(const Args& a) {
+  const std::uint64_t seed = a.num("seed", 1);
+  kkt::util::Rng rng(seed);
+  kkt::graph::Graph g = make_graph(a, rng);
+  const bool mst = a.get("kind", "mst") == "mst";
+  const bool csv = a.has("csv");
+  const int ops = static_cast<int>(a.num("ops", 16));
+
+  kkt::graph::MarkedForest forest(g);
+  for (auto e : kkt::graph::kruskal_msf(g)) forest.mark_edge(e);
+  kkt::sim::AsyncNetwork net(g, seed ^ 0xd1ce);
+  kkt::core::DynamicForest dyn(
+      g, forest, net,
+      mst ? kkt::core::ForestKind::kMst : kkt::core::ForestKind::kSt);
+
+  kkt::util::Rng pick(seed * 31);
+  int bad = 0;
+  for (int i = 0; i < ops; ++i) {
+    kkt::core::RepairOutcome out;
+    if (pick.coin() && g.edge_count() > g.node_count() / 2) {
+      const auto alive = g.alive_edge_indices();
+      out = dyn.delete_edge(alive[pick.below(alive.size())]);
+    } else {
+      kkt::graph::NodeId u = 0, v = 0;
+      do {
+        u = static_cast<kkt::graph::NodeId>(pick.below(g.node_count()));
+        v = static_cast<kkt::graph::NodeId>(pick.below(g.node_count()));
+      } while (u == v || g.find_edge(u, v).has_value());
+      out = dyn.insert_edge(u, v, 1 + pick.below(1u << 20));
+    }
+    const bool exact =
+        !mst || kkt::graph::same_edge_set(forest.marked_edges(),
+                                          kkt::graph::kruskal_msf(g));
+    if (!exact) ++bad;
+    if (csv) {
+      std::printf("op%d,%" PRIu64 ",%" PRIu64 ",%d\n", i, out.messages,
+                  out.rounds, exact ? 1 : 0);
+    }
+  }
+  if (!csv) {
+    std::printf("%d updates on n=%zu: %s\n", ops, g.node_count(),
+                bad == 0 ? "forest exact throughout" : "MISMATCHES");
+    print_metrics(net.metrics(), g.node_count(), g.edge_count(), false,
+                  "repair");
+  }
+  return bad == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: kkt_lab gen|build|repair [--flags]\n"
+                 "see the header comment of examples/kkt_lab.cpp\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args a = parse(argc, argv, 2);
+  if (cmd == "gen") return cmd_gen(a);
+  if (cmd == "build") return cmd_build(a);
+  if (cmd == "repair") return cmd_repair(a);
+  std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

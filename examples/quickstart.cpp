@@ -1,0 +1,76 @@
+// Quickstart: build a minimum spanning tree with o(m) communication.
+//
+//   $ ./quickstart [n] [m] [seed]
+//
+// Creates a random connected weighted network, runs the King-Kutten-Thorup
+// Build MST on a synchronous CONGEST simulator, verifies the result against
+// a centralized Kruskal oracle, and prints the communication bill.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/build_mst.h"
+#include "core/verify.h"
+#include "graph/generators.h"
+#include "graph/mst_oracle.h"
+#include "sim/sync_network.h"
+
+int main(int argc, char** argv) {
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
+  const std::size_t m_default = std::min(8 * n, n * (n - 1) / 2);
+  const std::size_t m =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : m_default;
+  const std::uint64_t seed =
+      argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2015;
+
+  // 1. A communications network: n processors, m links, random weights.
+  kkt::util::Rng rng(seed);
+  kkt::graph::Graph g =
+      kkt::graph::random_connected_gnm(n, m, {1u << 20}, rng);
+
+  // 2. The maintained forest (mark bits at each endpoint) and the
+  //    synchronous CONGEST transport.
+  kkt::graph::MarkedForest forest(g);
+  kkt::sim::SyncNetwork net(g, seed);
+
+  // 3. Build the MST: Boruvka phases of leader election + FindMin-C +
+  //    Add-Edge, all as real message protocols.
+  const kkt::core::BuildStats stats = kkt::core::build_mst(net, forest);
+
+  // 4. Verify against the centralized oracle (unique augmented weights
+  //    make the minimum spanning forest unique).
+  const bool correct = kkt::graph::same_edge_set(
+      forest.marked_edges(), kkt::graph::kruskal_msf(g));
+
+  std::printf("network: n=%zu nodes, m=%zu edges\n", n, m);
+  std::printf("result:  %s, %s after %zu phases\n",
+              correct ? "matches Kruskal" : "MISMATCH",
+              stats.spanning ? "spanning" : "NOT spanning", stats.phases);
+  std::printf("tree weight: %" PRIu64 "\n",
+              kkt::graph::total_raw_weight(g, forest.marked_edges()));
+  const auto& mtr = net.metrics();
+  std::printf("cost:    %" PRIu64 " messages (%0.2f per node, %0.2f per edge)\n",
+              mtr.messages, double(mtr.messages) / double(n),
+              double(mtr.messages) / double(m));
+  std::printf("         %" PRIu64 " rounds, %" PRIu64
+              " broadcast-and-echoes, %" PRIu64 " bits\n",
+              mtr.rounds, mtr.broadcast_echoes, mtr.message_bits);
+  std::printf("phase log (fragments -> merges):\n");
+  for (std::size_t i = 0; i < stats.per_phase.size(); ++i) {
+    std::printf("  phase %2zu: %5zu fragments, %4zu merges, %8" PRIu64
+                " msgs\n",
+                i + 1, stats.per_phase[i].fragments, stats.per_phase[i].merges,
+                stats.per_phase[i].messages);
+  }
+
+  // 5. The network can also audit itself without the oracle: one election
+  //    plus one HP-TestOut per component (O(n) messages).
+  const std::uint64_t before = net.metrics().messages;
+  const kkt::core::VerifySpanningResult audit =
+      kkt::core::verify_spanning(net, forest);
+  std::printf("distributed self-audit: %s (%" PRIu64 " messages)\n",
+              audit.spanning_forest() ? "spanning forest confirmed"
+                                      : "REJECTED",
+              net.metrics().messages - before);
+  return correct && stats.spanning && audit.spanning_forest() ? 0 : 1;
+}

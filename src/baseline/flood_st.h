@@ -1,0 +1,30 @@
+// Flooding spanning-tree baseline: the O(m)-message broadcast-tree
+// construction the folk theorem says is necessary (see e.g. Segall [32]).
+//
+// A single initiator floods an Explore token; each node adopts the sender
+// of the first token it receives as its parent (acking so both endpoints
+// mark the tree edge) and forwards the token on all its other edges.
+// Every edge carries at most two Explores and one Ack: Theta(m) messages,
+// O(diameter) time. The comparator for experiment E3.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/forest.h"
+#include "sim/network.h"
+
+namespace kkt::baseline {
+
+struct FloodStats {
+  bool spanning = false;
+  std::uint64_t components = 0;  // floods run (one per graph component)
+};
+
+// Builds a spanning forest of net.graph() into `forest` (must start empty).
+// One flood per component; the per-component initiator is the node with the
+// largest external ID (any deterministic choice works -- in a real network
+// this is the output of any leader-election, whose cost the folk theorem
+// also charges at Omega(m)).
+FloodStats flood_build_st(sim::Network& net, graph::MarkedForest& forest);
+
+}  // namespace kkt::baseline

@@ -1,0 +1,34 @@
+// Naive impromptu repair baseline: probe every edge incident to the
+// orphaned tree (Theta(m_T) messages), the cost the paper's FindMin/FindAny
+// undercut.
+//
+// Without auxiliary state, a node cannot tell which incident edges leave
+// its tree. The obvious fix is to (1) flood a membership token through the
+// tree, barrier via the echo, (2) have every tree node probe each incident
+// edge, the peer answering from its membership bit, and (3) converge the
+// minimum (or any) discovered cut edge back to the initiator. Steps 1 and 3
+// cost O(|T|); step 2 costs two messages per incident edge -- the Omega(m)
+// term.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "graph/forest.h"
+#include "sim/network.h"
+
+namespace kkt::baseline {
+
+struct NaiveSearchResult {
+  bool found = false;
+  graph::EdgeNum edge_num = 0;
+  graph::AugWeight aug = 0;
+};
+
+// Finds the minimum-weight edge leaving the tree containing `root`
+// (deterministically, by exhaustive probing).
+NaiveSearchResult naive_find_min_cut(sim::Network& net,
+                                     const graph::MarkedForest& forest,
+                                     graph::NodeId root);
+
+}  // namespace kkt::baseline

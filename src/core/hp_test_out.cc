@@ -1,0 +1,110 @@
+#include "core/hp_test_out.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "hashing/set_equality.h"
+#include "util/primes.h"
+
+namespace kkt::core {
+namespace {
+
+// Payload: [alpha, p, lo.hi, lo.lo, hi.hi, hi.lo]; echo: [up, down,
+// degree_sum, tree_size].
+Words encode_payload(std::uint64_t alpha, std::uint64_t p,
+                     const Interval& range) {
+  Words words{alpha, p};
+  push_u128(words, range.lo);
+  push_u128(words, range.hi);
+  return words;
+}
+
+HpTestOutResult run(proto::TreeOps& ops, NodeId root, Interval range,
+                    std::uint64_t alpha, std::uint64_t p) {
+  const graph::Graph& g = ops.graph();
+
+  const proto::LocalFn local = [&g](NodeId self,
+                                    std::span<const std::uint64_t> payload) {
+    const hashing::SetPolynomial poly(payload[0], payload[1]);
+    const Interval rng{read_u128(payload, 2), read_u128(payload, 4)};
+    std::uint64_t up = poly.identity();
+    std::uint64_t down = poly.identity();
+    std::uint64_t degree_sum = 0;
+    for (const graph::Incidence& inc : g.incident(self)) {
+      ++degree_sum;
+      if (!rng.contains(g.aug_weight(inc.edge))) continue;
+      const std::uint64_t term = poly.term(g.edge_num(inc.edge));
+      // Orientation: from smaller external ID to larger.
+      if (g.ext_id(self) < g.ext_id(inc.peer)) {
+        up = poly.combine(up, term);
+      } else {
+        down = poly.combine(down, term);
+      }
+    }
+    return Words{up, down, degree_sum, 1};
+  };
+
+  const std::uint64_t modulus = p;
+  const proto::CombineFn combine =
+      [modulus](NodeId, NodeId, graph::EdgeIdx, Words& acc,
+                std::span<const std::uint64_t> child) {
+        acc[0] = util::mulmod(acc[0], child[0], modulus);
+        acc[1] = util::mulmod(acc[1], child[1], modulus);
+        acc[2] += child[2];
+        acc[3] += child[3];
+      };
+
+  Words result =
+      ops.broadcast_echo(root, encode_payload(alpha, p, range), local, combine);
+  return HpTestOutResult{result[0] != result[1], result[2], result[3]};
+}
+
+}  // namespace
+
+HpTestOutResult hp_test_out(proto::TreeOps& ops, NodeId root, Interval range,
+                            std::uint64_t p) {
+  if (range.empty()) return HpTestOutResult{false, 0, 0};
+  const std::uint64_t alpha = ops.net().node_rng(root).below(p);
+  return run(ops, root, range, alpha, p);
+}
+
+HpTestOutResult hp_test_out_any(proto::TreeOps& ops, NodeId root,
+                                std::uint64_t p) {
+  return hp_test_out(ops, root, Interval{0, ~util::u128{0} >> 1}, p);
+}
+
+HpTestOutResult hp_test_out_discover_prime(proto::TreeOps& ops, NodeId root,
+                                           Interval range, double eps) {
+  assert(eps > 0);
+  if (range.empty()) return HpTestOutResult{false, 0, 0};
+  const graph::Graph& g = ops.graph();
+
+  // Step 0: one broadcast-and-echo computing maxEdgeNum(T) and B.
+  const proto::LocalFn local = [&g](NodeId self,
+                                    std::span<const std::uint64_t>) {
+    std::uint64_t max_edge_num = 0;
+    std::uint64_t degree = 0;
+    for (const graph::Incidence& inc : g.incident(self)) {
+      max_edge_num = std::max(max_edge_num, g.edge_num(inc.edge));
+      ++degree;
+    }
+    return Words{max_edge_num, degree};
+  };
+  const proto::CombineFn combine =
+      [](NodeId, NodeId, graph::EdgeIdx, Words& acc,
+         std::span<const std::uint64_t> child) {
+        acc[0] = std::max(acc[0], child[0]);
+        acc[1] += child[1];
+      };
+  Words stats = ops.broadcast_echo(root, Words{}, local, combine);
+  const std::uint64_t max_edge_num = stats[0];
+  const auto b_over_eps =
+      static_cast<std::uint64_t>(static_cast<double>(stats[1]) / eps) + 1;
+  const std::uint64_t p =
+      util::next_prime(std::max(max_edge_num, b_over_eps) + 1);
+
+  const std::uint64_t alpha = ops.net().node_rng(root).below(p);
+  return run(ops, root, range, alpha, p);
+}
+
+}  // namespace kkt::core

@@ -1,0 +1,56 @@
+// HP-TestOut (paper Section 2.2): the w.h.p. cut-emptiness test.
+//
+// Orient every edge from its smaller-ID endpoint to its larger-ID endpoint.
+// E-up(T) collects the edge numbers of oriented edges leaving from a node of
+// T; E-down(T) those arriving at a node of T. An edge internal to T appears
+// in both multisets; a cut edge in exactly one. Hence (Observation 1):
+//     cut(T) nonempty  <=>  E-up(T) != E-down(T).
+// Multiset equality is tested by evaluating P(D)(z) = prod (z - e) mod p at
+// a random alpha (Schwartz-Zippel / Blum-Kannan):
+//   * cut empty    -> the products are identical: always returns false;
+//   * cut nonempty -> returns true unless alpha is a root of the difference,
+//                     probability < B/p (with p ~ 2^63, astronomically small).
+//
+// One broadcast-and-echo: alpha goes down; the two partial products (and a
+// degree sum, used by callers to size FindAny's hash range and to pick p)
+// come up.
+#pragma once
+
+#include <cstdint>
+
+#include "core/wire.h"
+#include "proto/tree_ops.h"
+#include "util/modmath.h"
+#include "util/rng.h"
+
+namespace kkt::core {
+
+using graph::NodeId;
+
+struct HpTestOutResult {
+  // True certifies a leaving edge in the interval (always correct);
+  // false is correct with probability >= 1 - B/p.
+  bool leaving = false;
+  // B: sum over tree nodes of their full (unfiltered) degree.
+  std::uint64_t degree_sum = 0;
+  // Size of the tree (echo count), handy for cost accounting in tests.
+  std::uint64_t tree_size = 0;
+};
+
+// HP-TestOut(x, j, k) over augmented weights in `range`. The evaluation
+// point alpha is drawn from the initiator's local randomness.
+HpTestOutResult hp_test_out(proto::TreeOps& ops, NodeId root, Interval range,
+                            std::uint64_t p = util::kPrimeBelow63);
+
+// Unrestricted HP-TestOut(x).
+HpTestOutResult hp_test_out_any(proto::TreeOps& ops, NodeId root,
+                                std::uint64_t p = util::kPrimeBelow63);
+
+// The "step 0" variant: when no field modulus is agreed upon in advance,
+// the initiator first runs one broadcast-and-echo to learn maxEdgeNum and B
+// and derives a prime p > max{maxEdgeNum, B/eps}; then proceeds as above.
+// Costs one extra broadcast-and-echo.
+HpTestOutResult hp_test_out_discover_prime(proto::TreeOps& ops, NodeId root,
+                                           Interval range, double eps);
+
+}  // namespace kkt::core

@@ -1,0 +1,363 @@
+#include "core/repair.h"
+
+#include <cassert>
+
+#include "core/build_st.h"
+#include "core/wire.h"
+#include "proto/broadcast.h"
+#include "proto/tree_ops.h"
+
+namespace kkt::core {
+namespace {
+
+// Micro-protocol: the initiator marks its half of a fresh edge and tells
+// the other endpoint to do the same. One message.
+class CrossMark final : public sim::Protocol {
+ public:
+  CrossMark(graph::MarkedForest& forest, EdgeIdx e, NodeId initiator,
+            NodeId peer)
+      : forest_(&forest), edge_(e), initiator_(initiator), peer_(peer) {}
+
+  void on_start(sim::Network& net, NodeId self) override {
+    assert(self == initiator_);
+    forest_->mark_half(edge_, self);
+    net.send(self, peer_, sim::Message(sim::Tag::kAddEdge));
+  }
+
+  void on_message(sim::Network&, NodeId self, NodeId from,
+                  const sim::Message& msg) override {
+    (void)from;
+    (void)msg;
+    assert(msg.tag == sim::Tag::kAddEdge && self == peer_ && from == initiator_);
+    forest_->mark_half(edge_, self);
+  }
+
+ private:
+  graph::MarkedForest* forest_;
+  EdgeIdx edge_;
+  NodeId initiator_;
+  NodeId peer_;
+};
+
+// Snapshot of the cost counters, for per-operation deltas.
+struct CostProbe {
+  explicit CostProbe(const sim::Metrics& m)
+      : messages(m.messages), rounds(m.rounds), bes(m.broadcast_echoes) {}
+  void settle(const sim::Metrics& m, RepairOutcome& out) const {
+    out.messages = m.messages - messages;
+    out.rounds = m.rounds - rounds;
+    out.broadcast_echoes = m.broadcast_echoes - bes;
+  }
+  void settle_basic(const sim::Metrics& m, std::uint64_t& out_messages,
+                    std::uint64_t& out_rounds) const {
+    out_messages = m.messages - messages;
+    out_rounds = m.rounds - rounds;
+  }
+  std::uint64_t messages, rounds, bes;
+};
+
+}  // namespace
+
+NodeId DynamicForest::smaller_ext_endpoint(EdgeIdx e) const {
+  const graph::Edge& ed = graph_->edge(e);
+  return graph_->ext_id(ed.u) < graph_->ext_id(ed.v) ? ed.u : ed.v;
+}
+
+RepairOutcome DynamicForest::delete_edge(EdgeIdx e) {
+  assert(graph_->alive(e));
+  RepairOutcome out;
+  const CostProbe probe(net_->metrics());
+
+  const bool was_tree_edge = forest_->is_marked(e);
+  const NodeId initiator = smaller_ext_endpoint(e);
+  graph_->remove_edge(e);
+  forest_->clear_edge(e);
+  if (!was_tree_edge) {
+    probe.settle(net_->metrics(), out);
+    return out;  // kNone: the forest is untouched
+  }
+
+  out = repair_cut(initiator);
+  probe.settle(net_->metrics(), out);
+  return out;
+}
+
+RepairOutcome DynamicForest::repair_cut(NodeId initiator) {
+  RepairOutcome out;
+  proto::TreeOps ops(*net_, graph::TreeView(*forest_));
+
+  graph::EdgeNum replacement = 0;
+  bool found = false;
+  bool exhausted = false;
+  if (kind_ == ForestKind::kMst) {
+    const FindMinResult res = find_min(ops, initiator, find_min_config);
+    found = res.found;
+    replacement = res.edge_num;
+    exhausted = res.stats.budget_exhausted;
+  } else {
+    const FindAnyResult res = find_any(ops, initiator, find_any_config);
+    found = res.found;
+    replacement = res.edge_num;
+    exhausted = res.stats.budget_exhausted;
+  }
+
+  if (!found) {
+    out.action =
+        exhausted ? RepairAction::kSearchFailed : RepairAction::kBridge;
+    return out;
+  }
+  ops.add_edge(*forest_, initiator, replacement);
+  out.action = RepairAction::kReplaced;
+  out.edge = replacement;
+  return out;
+}
+
+DynamicForest::BatchOutcome DynamicForest::delete_batch(
+    const std::vector<EdgeIdx>& edges) {
+  BatchOutcome out;
+  const CostProbe probe(net_->metrics());
+
+  // Apply all removals first; collect the endpoints orphaned by tree-edge
+  // removals ("dirty" nodes -- the initiators of the repair).
+  std::vector<char> dirty(graph_->node_count(), 0);
+  for (EdgeIdx e : edges) {
+    assert(graph_->alive(e));
+    if (forest_->is_marked(e)) {
+      ++out.tree_edges_removed;
+      dirty[graph_->edge(e).u] = 1;
+      dirty[graph_->edge(e).v] = 1;
+    }
+    graph_->remove_edge(e);
+    forest_->clear_edge(e);
+  }
+  if (out.tree_edges_removed == 0) {
+    probe.settle_basic(net_->metrics(), out.messages, out.rounds);
+    return out;
+  }
+
+  // Boruvka completion over the damaged fragments only. A fragment goes
+  // clean when its search certifies no leaving edge or after its found
+  // edge is installed and the next phase re-checks the merged fragment.
+  // Every phase either merges or cleans at least one fragment, so 2k+4
+  // phases always suffice for the MST; the ST's Monte Carlo searches and
+  // cycle lotteries get proportionally more headroom.
+  const std::size_t phase_cap =
+      (kind_ == ForestKind::kMst ? 2 * out.tree_edges_removed + 4
+                                 : 32 * (out.tree_edges_removed + 2));
+  // Edges marked during phase p join the tree structure only from phase
+  // p+1 (exactly Build MST's snapshot semantics), so concurrently repaired
+  // fragments never see each other's half-installed merges.
+  const std::uint32_t base_epoch = forest_->max_mark_epoch();
+  for (std::size_t phase = 0; phase < phase_cap; ++phase) {
+    auto [label, count] = forest_->components();
+    std::vector<char> comp_dirty(count, 0);
+    for (NodeId v = 0; v < label.size(); ++v) {
+      if (dirty[v]) comp_dirty[label[v]] = 1;
+    }
+    std::vector<std::vector<NodeId>> comps(count);
+    for (NodeId v = 0; v < label.size(); ++v) comps[label[v]].push_back(v);
+
+    const auto mark_epoch =
+        base_epoch + static_cast<std::uint32_t>(phase) + 1;
+    bool any = false;
+    proto::TreeOps ops(*net_, graph::TreeView(*forest_, mark_epoch - 1));
+    sim::ParallelPhase par(*net_);
+    for (std::size_t c = 0; c < count; ++c) {
+      if (!comp_dirty[c]) continue;
+      any = true;
+      par.begin_branch();
+      const proto::ElectionResult el = ops.elect(comps[c]);
+      assert(el.leader != graph::kNoNode);
+      bool found = false;
+      graph::EdgeNum replacement = 0;
+      if (kind_ == ForestKind::kMst) {
+        const FindMinResult res = find_min(ops, el.leader, find_min_config);
+        found = res.found;
+        replacement = res.edge_num;
+      } else {
+        const FindAnyResult res = find_any(ops, el.leader, find_any_config);
+        found = res.found;
+        replacement = res.edge_num;
+      }
+      if (found) {
+        ops.add_edge(*forest_, el.leader, replacement, mark_epoch);
+        ++out.replacements;
+      } else {
+        // Maximal (or search exhausted, w.h.p. absent): fragment is clean.
+        for (NodeId v : comps[c]) dirty[v] = 0;
+      }
+      par.end_branch();
+    }
+    par.finish();
+
+    if (kind_ == ForestKind::kSt && any) {
+      // Unweighted choices can close one cycle per merged component;
+      // resolve exactly as Build ST does (Section 4.2).
+      auto [mlabel, mcount] = forest_->components();
+      std::vector<char> mdirty(mcount, 0);
+      for (NodeId v = 0; v < mlabel.size(); ++v) {
+        if (dirty[v]) mdirty[mlabel[v]] = 1;
+      }
+      std::vector<std::vector<NodeId>> mcomps(mcount);
+      for (NodeId v = 0; v < mlabel.size(); ++v) {
+        mcomps[mlabel[v]].push_back(v);
+      }
+      proto::TreeOps mops(*net_, graph::TreeView(*forest_));
+      sim::ParallelPhase mpar(*net_);
+      for (std::size_t c = 0; c < mcount; ++c) {
+        if (!mdirty[c]) continue;
+        mpar.begin_branch();
+        resolve_st_cycle(*net_, *forest_, mops, mcomps[c]);
+        mpar.end_branch();
+      }
+      mpar.finish();
+    }
+
+    if (!any) break;
+    ++out.phases;
+  }
+
+  probe.settle_basic(net_->metrics(), out.messages, out.rounds);
+  return out;
+}
+
+DynamicForest::PathQuery DynamicForest::path_query(NodeId root,
+                                                   graph::ExtId target_ext) {
+  const graph::Graph& g = *graph_;
+  proto::TreeOps ops(*net_, graph::TreeView(*forest_));
+
+  // Echo value: [found, max.hi, max.lo, edge_num]. `found` flags that the
+  // target lies in the echoing subtree; the max tracks the heaviest tree
+  // edge on the partial path from the subtree's root down to the target.
+  const proto::LocalFn local = [&g](NodeId self,
+                                    std::span<const std::uint64_t> payload) {
+    const bool is_target = g.ext_id(self) == payload[0];
+    return Words{is_target ? 1u : 0u, 0, 0, 0};
+  };
+  const proto::CombineFn combine =
+      [&g](NodeId, NodeId, graph::EdgeIdx edge, Words& acc,
+           std::span<const std::uint64_t> child) {
+        if (child[0] == 0) return;  // target not in this child's subtree
+        assert(acc[0] == 0 && "target found in two subtrees");
+        acc[0] = 1;
+        // Extend the child's partial path with the connecting tree edge.
+        util::u128 best = read_u128(child, 1);
+        std::uint64_t best_edge = child[3];
+        const util::u128 connecting = g.aug_weight(edge);
+        if (connecting > best) {
+          best = connecting;
+          best_edge = g.edge_num(edge);
+        }
+        acc[1] = util::hi64(best);
+        acc[2] = util::lo64(best);
+        acc[3] = best_edge;
+      };
+
+  Words res = ops.broadcast_echo(
+      root, Words{static_cast<std::uint64_t>(target_ext)}, local, combine);
+  PathQuery q;
+  q.target_in_tree = res[0] != 0;
+  q.path_max = read_u128(res, 1);
+  q.path_max_edge = res[3];
+  return q;
+}
+
+void DynamicForest::cross_mark(EdgeIdx e, NodeId initiator, NodeId peer) {
+  CrossMark proto(*forest_, e, initiator, peer);
+  const NodeId participants[] = {initiator};
+  net_->run(proto, participants);
+}
+
+void DynamicForest::broadcast_drop(NodeId root, graph::EdgeNum edge_num) {
+  graph::MarkedForest& forest = *forest_;
+  const graph::Graph& g = *graph_;
+  proto::TreeOps ops(*net_, graph::TreeView(forest));
+  ops.broadcast(root, Words{edge_num},
+                [&forest, &g](NodeId self,
+                              std::span<const std::uint64_t> payload) {
+                  for (const graph::Incidence& inc : g.incident(self)) {
+                    if (g.edge_num(inc.edge) == payload[0]) {
+                      forest.unmark_half(inc.edge, self);
+                    }
+                  }
+                });
+}
+
+RepairOutcome DynamicForest::insert_edge(NodeId u, NodeId v, Weight w,
+                                         EdgeIdx* out_edge) {
+  RepairOutcome out;
+  const CostProbe probe(net_->metrics());
+
+  const EdgeIdx e = graph_->add_edge(u, v, w);
+  if (out_edge != nullptr) *out_edge = e;
+
+  const NodeId initiator = smaller_ext_endpoint(e);
+  const NodeId peer = graph_->edge(e).other(initiator);
+
+  // Note: the tree views below exclude e (it is unmarked), so the query
+  // runs over the pre-insertion tree exactly as the paper prescribes.
+  const PathQuery q = path_query(initiator, graph_->ext_id(peer));
+
+  if (!q.target_in_tree) {
+    cross_mark(e, initiator, peer);
+    out.action = RepairAction::kMergedTrees;
+  } else if (kind_ == ForestKind::kMst &&
+             q.path_max > graph_->aug_weight(e)) {
+    broadcast_drop(initiator, q.path_max_edge);
+    cross_mark(e, initiator, peer);
+    out.action = RepairAction::kSwapped;
+    out.edge = q.path_max_edge;
+  } else {
+    out.action = RepairAction::kRejected;
+  }
+  probe.settle(net_->metrics(), out);
+  return out;
+}
+
+RepairOutcome DynamicForest::change_weight(EdgeIdx e, Weight new_weight) {
+  assert(graph_->alive(e));
+  RepairOutcome out;
+  const CostProbe probe(net_->metrics());
+
+  const Weight old_weight = graph_->edge(e).weight;
+  const bool marked = forest_->is_marked(e);
+  graph_->set_weight(e, new_weight);
+
+  if (kind_ == ForestKind::kSt || new_weight == old_weight ||
+      (marked && new_weight < old_weight) ||
+      (!marked && new_weight > old_weight)) {
+    // ST ignores weights; a lighter tree edge stays in the MST (cut
+    // property); a heavier non-tree edge stays out (cycle property).
+    probe.settle(net_->metrics(), out);
+    return out;
+  }
+
+  if (marked) {
+    // Weight increase on a tree edge: repaired like a deletion, except the
+    // edge survives as its own candidate replacement. Both endpoints
+    // observe the change and unmark locally (no messages).
+    const NodeId initiator = smaller_ext_endpoint(e);
+    const graph::Edge& ed = graph_->edge(e);
+    forest_->unmark_half(e, ed.u);
+    forest_->unmark_half(e, ed.v);
+    out = repair_cut(initiator);
+  } else {
+    // Weight decrease on a non-tree edge: repaired like an insertion.
+    const NodeId initiator = smaller_ext_endpoint(e);
+    const NodeId peer = graph_->edge(e).other(initiator);
+    const PathQuery q = path_query(initiator, graph_->ext_id(peer));
+    assert(q.target_in_tree && "non-tree edge endpoints share a tree");
+    if (q.path_max > graph_->aug_weight(e)) {
+      broadcast_drop(initiator, q.path_max_edge);
+      cross_mark(e, initiator, peer);
+      out.action = RepairAction::kSwapped;
+      out.edge = q.path_max_edge;
+    } else {
+      out.action = RepairAction::kRejected;
+    }
+  }
+  probe.settle(net_->metrics(), out);
+  return out;
+}
+
+}  // namespace kkt::core

@@ -1,0 +1,109 @@
+#include "core/test_out.h"
+
+#include <cassert>
+#include <limits>
+
+namespace kkt::core {
+namespace {
+
+// Broadcast payload layout: [multiplier, threshold, lo.hi, lo.lo, hi.hi,
+// hi.lo, w] -- 7 words, within the CONGEST budget.
+Words encode_payload(const hashing::OddHash& h, const Interval& range,
+                     int w) {
+  Words words{h.multiplier(), h.threshold()};
+  push_u128(words, range.lo);
+  push_u128(words, range.hi);
+  words.push_back(static_cast<std::uint64_t>(w));
+  return words;
+}
+
+}  // namespace
+
+std::uint64_t test_out_sliced(proto::TreeOps& ops, NodeId root,
+                              const hashing::OddHash& h, Interval range,
+                              int w) {
+  assert(w >= 1 && w <= 64);
+  assert(!range.empty());
+  const graph::Graph& g = ops.graph();
+
+  const proto::LocalFn local = [&g](NodeId self,
+                                    std::span<const std::uint64_t> payload) {
+    const hashing::OddHash hash(payload[0], payload[1]);
+    const Interval rng{read_u128(payload, 2), read_u128(payload, 4)};
+    const int slices = static_cast<int>(payload[6]);
+    std::uint64_t bits = 0;
+    for (const graph::Incidence& inc : g.incident(self)) {
+      const graph::AugWeight aug = g.aug_weight(inc.edge);
+      if (!rng.contains(aug)) continue;
+      if (hash(g.edge_num(inc.edge))) {
+        bits ^= std::uint64_t{1} << slice_index(rng, slices, aug);
+      }
+    }
+    return Words{bits};
+  };
+
+  Words result = ops.broadcast_echo(root, encode_payload(h, range, w), local,
+                                    proto::combine_xor());
+  return result.at(0);
+}
+
+std::uint64_t test_out_sliced_amplified(proto::TreeOps& ops, NodeId root,
+                                        std::uint64_t seed, Interval range,
+                                        int w, int reps) {
+  assert(w >= 1 && w <= 64);
+  assert(reps >= 1 &&
+         static_cast<std::size_t>(reps) <= sim::kMaxMessageWords);
+  assert(!range.empty());
+  const graph::Graph& g = ops.graph();
+
+  // Payload: [seed, lo.hi, lo.lo, hi.hi, hi.lo, w, reps].
+  Words payload{seed};
+  push_u128(payload, range.lo);
+  push_u128(payload, range.hi);
+  payload.push_back(static_cast<std::uint64_t>(w));
+  payload.push_back(static_cast<std::uint64_t>(reps));
+
+  const proto::LocalFn local = [&g](NodeId self,
+                                    std::span<const std::uint64_t> p) {
+    const std::uint64_t sd = p[0];
+    const Interval rng{read_u128(p, 1), read_u128(p, 3)};
+    const int slices = static_cast<int>(p[5]);
+    const int repetitions = static_cast<int>(p[6]);
+    Words parities(repetitions, 0);
+    std::vector<hashing::OddHash> hashes;
+    hashes.reserve(repetitions);
+    for (int r = 0; r < repetitions; ++r) {
+      hashes.push_back(hashing::OddHash::from_seed(sd, r));
+    }
+    for (const graph::Incidence& inc : g.incident(self)) {
+      const graph::AugWeight aug = g.aug_weight(inc.edge);
+      if (!rng.contains(aug)) continue;
+      const std::uint64_t bit = std::uint64_t{1}
+                                << slice_index(rng, slices, aug);
+      const graph::EdgeNum en = g.edge_num(inc.edge);
+      for (int r = 0; r < repetitions; ++r) {
+        if (hashes[r](en)) parities[r] ^= bit;
+      }
+    }
+    return parities;
+  };
+
+  Words result =
+      ops.broadcast_echo(root, std::move(payload), local, proto::combine_xor());
+  std::uint64_t positive = 0;
+  for (std::uint64_t word : result) positive |= word;
+  return positive;
+}
+
+bool test_out(proto::TreeOps& ops, NodeId root, const hashing::OddHash& h,
+              Interval range) {
+  return test_out_sliced(ops, root, h, range, 1) != 0;
+}
+
+bool test_out_any(proto::TreeOps& ops, NodeId root,
+                  const hashing::OddHash& h) {
+  const Interval everything{0, ~util::u128{0} >> 1};
+  return test_out(ops, root, h, everything);
+}
+
+}  // namespace kkt::core

@@ -1,0 +1,63 @@
+// Distributed self-verification of the maintained forest.
+//
+// The paper's primitives double as cheap auditors: with O(n) messages the
+// network can check, without any central oracle, that what it maintains is
+// really a spanning forest (and, for an MST, per-cut minimality):
+//
+//  * acyclicity  -- leader election stalls exactly on a cycle (Section 4.2),
+//                   so electing in each marked component is a cycle test;
+//  * maximality  -- HP-TestOut from each component leader certifies (one-
+//                   sided, w.h.p.) that no edge leaves the component, i.e.
+//                   the forest cannot be extended: it spans;
+//  * minimality  -- for a sampled tree edge e = {u, v}, conceptually remove
+//                   e and run FindMin on u's side: the MST cycle property
+//                   holds iff the minimum returned is e itself. (Full
+//                   verification would do this for every tree edge; the
+//                   sampler gives a Monte Carlo audit at O(k n polylog)
+//                   cost for k samples.)
+//
+// The properly-marked invariant (both halves or neither) is checked locally
+// per node at zero message cost.
+#pragma once
+
+#include <cstddef>
+
+#include "core/find_min.h"
+#include "graph/forest.h"
+#include "sim/network.h"
+
+namespace kkt::core {
+
+struct VerifySpanningResult {
+  bool properly_marked = false;
+  bool acyclic = false;
+  bool maximal = false;  // no component has a leaving edge (w.h.p. exact)
+  std::size_t components = 0;
+
+  bool spanning_forest() const {
+    return properly_marked && acyclic && maximal;
+  }
+};
+
+// O(n) messages total: one election plus one HP-TestOut per component.
+VerifySpanningResult verify_spanning(sim::Network& net,
+                                     const graph::MarkedForest& forest);
+
+struct VerifyMstResult {
+  VerifySpanningResult spanning;
+  // Sampled tree edges whose cut-minimality was confirmed / refuted.
+  std::size_t edges_checked = 0;
+  std::size_t violations = 0;
+
+  bool looks_like_mst() const {
+    return spanning.spanning_forest() && violations == 0;
+  }
+};
+
+// Monte Carlo MST audit: verifies spanning-ness, then checks cut-minimality
+// of `samples` randomly chosen tree edges (all of them if samples == 0 or
+// exceeds the tree size). Cost O(samples * n log n / log log n) messages.
+VerifyMstResult verify_mst(sim::Network& net, graph::MarkedForest& forest,
+                           std::size_t samples = 8);
+
+}  // namespace kkt::core

@@ -1,0 +1,78 @@
+// Word-level (de)serialization of the quantities the core algorithms put on
+// the wire, plus interval arithmetic over augmented weights.
+//
+// FindMin's w-wise search (paper Section 3.1) broadcasts only the current
+// range [lo, hi]; every node derives the w subranges locally, which is what
+// keeps the broadcast message a constant number of words.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "graph/types.h"
+#include "proto/broadcast_echo.h"
+#include "util/bits.h"
+
+namespace kkt::core {
+
+using graph::AugWeight;
+using proto::Words;
+
+inline void push_u128(Words& w, util::u128 x) {
+  w.push_back(util::hi64(x));
+  w.push_back(util::lo64(x));
+}
+
+inline util::u128 read_u128(std::span<const std::uint64_t> w,
+                            std::size_t idx) {
+  assert(idx + 2 <= w.size());
+  return util::make_u128(w[idx], w[idx + 1]);
+}
+
+// Inclusive interval of augmented weights; empty iff lo > hi.
+struct Interval {
+  AugWeight lo = 0;
+  AugWeight hi = 0;
+
+  bool empty() const noexcept { return lo > hi; }
+  bool contains(AugWeight x) const noexcept { return lo <= x && x <= hi; }
+  util::u128 size() const noexcept { return empty() ? 0 : hi - lo + 1; }
+};
+
+// Width of each of the w equal slices of `range` (ceiling division), as in
+// the paper's step 5: j_i = j + i*ceil((k-j)/w).
+inline util::u128 slice_width(const Interval& range, int w) noexcept {
+  assert(w >= 1 && !range.empty());
+  return (range.size() + static_cast<util::u128>(w) - 1) /
+         static_cast<util::u128>(w);
+}
+
+// The i-th slice (0-based); may be empty for large i when the range is
+// smaller than w.
+inline Interval slice(const Interval& range, int w, int i) noexcept {
+  assert(i >= 0 && i < w);
+  const util::u128 width = slice_width(range, w);
+  const util::u128 start = range.lo + width * static_cast<util::u128>(i);
+  if (start > range.hi) return Interval{1, 0};  // empty
+  util::u128 end = start + width - 1;
+  if (end > range.hi) end = range.hi;
+  return Interval{start, end};
+}
+
+// Which slice contains x (precondition: range.contains(x)).
+inline int slice_index(const Interval& range, int w, AugWeight x) noexcept {
+  assert(range.contains(x));
+  const auto idx = static_cast<int>((x - range.lo) / slice_width(range, w));
+  assert(idx >= 0 && idx < w);
+  return idx;
+}
+
+// The full augmented-weight universe: weights >= 1 imply aug >= 2^62, but
+// starting from 0 matches the paper's TestLow intervals [0, j_min - 1].
+inline Interval full_range(AugWeight max_aug) noexcept {
+  return Interval{0, max_aug};
+}
+
+}  // namespace kkt::core

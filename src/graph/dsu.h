@@ -1,0 +1,56 @@
+// Disjoint-set union with union by size and path halving.
+// Used by the sequential MST oracles and by driver-side bookkeeping
+// (fragment snapshots between Boruvka phases).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace kkt::graph {
+
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n), size_(n, 1), components_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::uint32_t find(std::uint32_t x) noexcept {
+    assert(x < parent_.size());
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  // Returns true if x and y were in different sets (i.e. a merge happened).
+  bool unite(std::uint32_t x, std::uint32_t y) noexcept {
+    std::uint32_t rx = find(x), ry = find(y);
+    if (rx == ry) return false;
+    if (size_[rx] < size_[ry]) std::swap(rx, ry);
+    parent_[ry] = rx;
+    size_[rx] += size_[ry];
+    --components_;
+    return true;
+  }
+
+  bool same(std::uint32_t x, std::uint32_t y) noexcept {
+    return find(x) == find(y);
+  }
+
+  std::uint32_t component_size(std::uint32_t x) noexcept {
+    return size_[find(x)];
+  }
+
+  std::size_t components() const noexcept { return components_; }
+  std::size_t size() const noexcept { return parent_.size(); }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+  std::vector<std::uint32_t> size_;
+  std::size_t components_;
+};
+
+}  // namespace kkt::graph

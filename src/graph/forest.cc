@@ -1,0 +1,170 @@
+#include "graph/forest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "graph/dsu.h"
+#include "graph/mst_oracle.h"
+
+namespace kkt::graph {
+
+void MarkedForest::ensure_size(EdgeIdx e) const {
+  if (marks_.size() <= e) {
+    marks_.resize(e + 1, 0);
+    epochs_.resize(e + 1, 0);
+  }
+}
+
+int MarkedForest::slot(EdgeIdx e, NodeId endpoint) const {
+  const Edge& ed = graph_->edge(e);
+  assert(endpoint == ed.u || endpoint == ed.v);
+  return endpoint == ed.u ? 0 : 1;
+}
+
+void MarkedForest::mark_half(EdgeIdx e, NodeId endpoint, std::uint32_t epoch) {
+  ensure_size(e);
+  marks_[e] |= static_cast<std::uint8_t>(1u << slot(e, endpoint));
+  epochs_[e] = epoch;
+}
+
+std::uint32_t MarkedForest::mark_epoch(EdgeIdx e) const {
+  ensure_size(e);
+  return epochs_[e];
+}
+
+std::uint32_t MarkedForest::max_mark_epoch() const {
+  std::uint32_t best = 0;
+  for (EdgeIdx e = 0; e < marks_.size(); ++e) {
+    if (is_marked(e) && epochs_[e] > best) best = epochs_[e];
+  }
+  return best;
+}
+
+void MarkedForest::unmark_half(EdgeIdx e, NodeId endpoint) {
+  ensure_size(e);
+  marks_[e] &= static_cast<std::uint8_t>(~(1u << slot(e, endpoint)));
+}
+
+bool MarkedForest::half_marked(EdgeIdx e, NodeId endpoint) const {
+  ensure_size(e);
+  return (marks_[e] >> slot(e, endpoint)) & 1u;
+}
+
+void MarkedForest::mark_edge(EdgeIdx e, std::uint32_t epoch) {
+  ensure_size(e);
+  marks_[e] = 3;
+  epochs_[e] = epoch;
+}
+
+void MarkedForest::unmark_edge(EdgeIdx e) { clear_edge(e); }
+
+void MarkedForest::clear_edge(EdgeIdx e) {
+  ensure_size(e);
+  marks_[e] = 0;
+}
+
+void MarkedForest::clear_all() {
+  std::fill(marks_.begin(), marks_.end(), 0);
+}
+
+bool MarkedForest::is_marked(EdgeIdx e) const {
+  ensure_size(e);
+  return marks_[e] == 3 && graph_->alive(e);
+}
+
+bool MarkedForest::is_marked_at(EdgeIdx e, std::uint32_t epoch_limit) const {
+  return is_marked(e) && epochs_[e] <= epoch_limit;
+}
+
+bool MarkedForest::properly_marked() const {
+  for (EdgeIdx e = 0; e < marks_.size(); ++e) {
+    if (marks_[e] != 0 && marks_[e] != 3) return false;
+  }
+  return true;
+}
+
+std::vector<EdgeIdx> MarkedForest::marked_edges() const {
+  std::vector<EdgeIdx> out;
+  for (EdgeIdx e = 0; e < marks_.size(); ++e) {
+    if (is_marked(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Incidence> MarkedForest::marked_incident(NodeId v) const {
+  std::vector<Incidence> out;
+  for (const Incidence& inc : graph_->incident(v)) {
+    if (is_marked(inc.edge)) out.push_back(inc);
+  }
+  return out;
+}
+
+std::size_t MarkedForest::marked_degree(NodeId v) const {
+  std::size_t d = 0;
+  for (const Incidence& inc : graph_->incident(v)) {
+    if (is_marked(inc.edge)) ++d;
+  }
+  return d;
+}
+
+std::pair<std::vector<std::uint32_t>, std::size_t> MarkedForest::components()
+    const {
+  const std::size_t n = graph_->node_count();
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> label(n, kUnset);
+  std::uint32_t next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != kUnset) continue;
+    label[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const Incidence& inc : graph_->incident(v)) {
+        if (is_marked(inc.edge) && label[inc.peer] == kUnset) {
+          label[inc.peer] = next;
+          queue.push_back(inc.peer);
+        }
+      }
+    }
+    ++next;
+  }
+  return {std::move(label), next};
+}
+
+std::vector<NodeId> MarkedForest::component_of(NodeId root) const {
+  std::vector<NodeId> out{root};
+  std::vector<char> seen(graph_->node_count(), 0);
+  seen[root] = 1;
+  std::deque<NodeId> queue{root};
+  while (!queue.empty()) {
+    const NodeId v = queue.front();
+    queue.pop_front();
+    for (const Incidence& inc : graph_->incident(v)) {
+      if (is_marked(inc.edge) && !seen[inc.peer]) {
+        seen[inc.peer] = 1;
+        out.push_back(inc.peer);
+        queue.push_back(inc.peer);
+      }
+    }
+  }
+  return out;
+}
+
+bool MarkedForest::is_forest() const {
+  Dsu dsu(graph_->node_count());
+  for (EdgeIdx e : marked_edges()) {
+    if (!dsu.unite(graph_->edge(e).u, graph_->edge(e).v)) return false;
+  }
+  return true;
+}
+
+bool MarkedForest::is_spanning_forest() const {
+  return properly_marked() &&
+         graph::is_spanning_forest(*graph_, marked_edges());
+}
+
+}  // namespace kkt::graph

@@ -1,0 +1,127 @@
+// The maintained forest: per-endpoint edge marks.
+//
+// Paper, Definitions: "A network is properly marked if every edge is marked
+// by both or neither of its endpoints. A tree T is maintained by a network
+// if the network is properly marked and T is a maximal tree in the subgraph
+// of marked edges."
+//
+// Each endpoint's mark bit is that node's local state; protocols set the two
+// halves via messages (the Add-Edge handshake). The audit methods let tests
+// assert the properly-marked invariant and the impromptu discipline (between
+// updates a node stores nothing but its incident edges and these bits).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kkt::graph {
+
+class MarkedForest {
+ public:
+  explicit MarkedForest(const Graph& g) : graph_(&g) {}
+
+  // --- per-endpoint marking (what protocols do) ---------------------------
+  // `epoch` records when the mark was placed; construction phases use it to
+  // query the fragment structure "as of the start of phase i" (edges marked
+  // in phase i become part of the tree only from phase i+1 on), matching the
+  // paper's synchronized-phase semantics in Build MST step (d).
+  void mark_half(EdgeIdx e, NodeId endpoint, std::uint32_t epoch = 0);
+  void unmark_half(EdgeIdx e, NodeId endpoint);
+  bool half_marked(EdgeIdx e, NodeId endpoint) const;
+  std::uint32_t mark_epoch(EdgeIdx e) const;
+  // Largest epoch among currently marked edges (0 if none) -- lets a new
+  // phased operation pick fresh epochs above everything already placed.
+  std::uint32_t max_mark_epoch() const;
+
+  // --- symmetric convenience (driver/test use) ----------------------------
+  void mark_edge(EdgeIdx e, std::uint32_t epoch = 0);
+  void unmark_edge(EdgeIdx e);
+  // Clears both halves, e.g. when the edge is deleted from the graph.
+  void clear_edge(EdgeIdx e);
+  void clear_all();
+
+  // An edge is in the maintained forest iff both halves are marked.
+  bool is_marked(EdgeIdx e) const;
+
+  // Marked and placed no later than the given epoch.
+  bool is_marked_at(EdgeIdx e, std::uint32_t epoch_limit) const;
+
+  // Every edge has zero or two marked halves.
+  bool properly_marked() const;
+
+  // Marked alive edges, ascending.
+  std::vector<EdgeIdx> marked_edges() const;
+
+  // Marked alive incident edges of v.
+  std::vector<Incidence> marked_incident(NodeId v) const;
+  std::size_t marked_degree(NodeId v) const;
+
+  // Component label per node of the marked subgraph, plus component count.
+  std::pair<std::vector<std::uint32_t>, std::size_t> components() const;
+
+  // All nodes in the marked-subgraph component containing root.
+  std::vector<NodeId> component_of(NodeId root) const;
+
+  // True if the marked subgraph is acyclic.
+  bool is_forest() const;
+
+  // True if the marked subgraph is a spanning forest of the alive graph
+  // (acyclic, and connects exactly the graph's components).
+  bool is_spanning_forest() const;
+
+  const Graph& graph() const noexcept { return *graph_; }
+
+ private:
+  void ensure_size(EdgeIdx e) const;
+  // Returns 0 or 1 for the endpoint's slot in marks_.
+  int slot(EdgeIdx e, NodeId endpoint) const;
+
+  const Graph* graph_;
+  // Two half-mark bits per edge slot; lazily grown.
+  mutable std::vector<std::uint8_t> marks_;
+  // Epoch at which the edge was marked (phase number during construction).
+  mutable std::vector<std::uint32_t> epochs_;
+};
+
+// A node-local lens on the maintained tree: the marked incident edges as of
+// a given epoch. Protocols take a TreeView so that construction phases can
+// operate on the fragment structure at phase start while Add-Edge marks for
+// the next phase accumulate concurrently.
+class TreeView {
+ public:
+  explicit TreeView(const MarkedForest& forest,
+                    std::uint32_t epoch_limit = ~std::uint32_t{0})
+      : forest_(&forest), epoch_limit_(epoch_limit) {}
+
+  bool contains(EdgeIdx e) const {
+    return forest_->is_marked_at(e, epoch_limit_);
+  }
+
+  std::vector<Incidence> neighbors(NodeId v) const {
+    std::vector<Incidence> out;
+    for (const Incidence& inc : forest_->graph().incident(v)) {
+      if (contains(inc.edge)) out.push_back(inc);
+    }
+    return out;
+  }
+
+  std::size_t degree(NodeId v) const {
+    std::size_t d = 0;
+    for (const Incidence& inc : forest_->graph().incident(v)) {
+      if (contains(inc.edge)) ++d;
+    }
+    return d;
+  }
+
+  const MarkedForest& forest() const noexcept { return *forest_; }
+  const Graph& graph() const noexcept { return forest_->graph(); }
+  std::uint32_t epoch_limit() const noexcept { return epoch_limit_; }
+
+ private:
+  const MarkedForest* forest_;
+  std::uint32_t epoch_limit_;
+};
+
+}  // namespace kkt::graph

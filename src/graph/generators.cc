@@ -1,0 +1,198 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace kkt::graph {
+namespace {
+
+Weight draw_weight(const WeightSpec& ws, util::Rng& rng) {
+  assert(ws.max_weight >= 1);
+  return rng.range(1, ws.max_weight);
+}
+
+std::uint64_t pair_key(NodeId u, NodeId v) {
+  const NodeId lo = std::min(u, v), hi = std::max(u, v);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+// Adds a uniform-random-attachment spanning tree over nodes [0, n).
+void add_random_tree_edges(Graph& g, std::unordered_set<std::uint64_t>& used,
+                           const WeightSpec& ws, util::Rng& rng) {
+  const std::size_t n = g.node_count();
+  // Random permutation so the attachment order is not index-biased.
+  std::vector<NodeId> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<NodeId>(i);
+  for (std::size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(i)]);
+  }
+  for (std::size_t i = 1; i < n; ++i) {
+    const NodeId u = order[i];
+    const NodeId v = order[rng.below(i)];
+    g.add_edge(u, v, draw_weight(ws, rng));
+    used.insert(pair_key(u, v));
+  }
+}
+
+}  // namespace
+
+Graph random_tree(std::size_t n, WeightSpec ws, util::Rng& rng) {
+  return random_connected_gnm(n, n - 1, ws, rng);
+}
+
+Graph random_connected_gnm(std::size_t n, std::size_t m, WeightSpec ws,
+                           util::Rng& rng) {
+  assert(n >= 1);
+  assert(m + 1 >= n && m <= n * (n - 1) / 2);
+  Graph g(n, rng);
+  std::unordered_set<std::uint64_t> used;
+  if (n >= 2) add_random_tree_edges(g, used, ws, rng);
+  while (g.edge_count() < m) {
+    const auto u = static_cast<NodeId>(rng.below(n));
+    const auto v = static_cast<NodeId>(rng.below(n));
+    if (u == v) continue;
+    if (!used.insert(pair_key(u, v)).second) continue;
+    g.add_edge(u, v, draw_weight(ws, rng));
+  }
+  return g;
+}
+
+Graph gnp(std::size_t n, double p, WeightSpec ws, util::Rng& rng) {
+  assert(p >= 0.0 && p <= 1.0);
+  Graph g(n, rng);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.uniform01() < p) g.add_edge(u, v, draw_weight(ws, rng));
+    }
+  }
+  return g;
+}
+
+Graph complete(std::size_t n, WeightSpec ws, util::Rng& rng) {
+  Graph g(n, rng);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v, draw_weight(ws, rng));
+    }
+  }
+  return g;
+}
+
+Graph ring(std::size_t n, WeightSpec ws, util::Rng& rng) {
+  assert(n >= 3);
+  Graph g(n, rng);
+  for (NodeId u = 0; u < n; ++u) {
+    g.add_edge(u, static_cast<NodeId>((u + 1) % n), draw_weight(ws, rng));
+  }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols, WeightSpec ws, util::Rng& rng) {
+  assert(rows >= 1 && cols >= 1 && rows * cols >= 1);
+  Graph g(rows * cols, rng);
+  const auto at = [cols](std::size_t r, std::size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(at(r, c), at(r, c + 1), draw_weight(ws, rng));
+      if (r + 1 < rows) g.add_edge(at(r, c), at(r + 1, c), draw_weight(ws, rng));
+    }
+  }
+  return g;
+}
+
+Graph barbell(std::size_t k, std::size_t path_len, WeightSpec ws,
+              util::Rng& rng) {
+  assert(k >= 2 && path_len >= 1);
+  const std::size_t n = 2 * k + (path_len - 1);
+  Graph g(n, rng);
+  // Clique A: [0, k); clique B: [k, 2k); path nodes: [2k, n).
+  for (NodeId u = 0; u + 1 < k; ++u) {
+    for (NodeId v = u + 1; v < k; ++v) g.add_edge(u, v, draw_weight(ws, rng));
+  }
+  for (auto u = static_cast<NodeId>(k); u + 1 < 2 * k; ++u) {
+    for (auto v = static_cast<NodeId>(u + 1); v < 2 * k; ++v) {
+      g.add_edge(u, v, draw_weight(ws, rng));
+    }
+  }
+  NodeId prev = 0;  // a node of clique A
+  for (std::size_t i = 0; i + 1 < path_len; ++i) {
+    const auto mid = static_cast<NodeId>(2 * k + i);
+    g.add_edge(prev, mid, draw_weight(ws, rng));
+    prev = mid;
+  }
+  g.add_edge(prev, static_cast<NodeId>(k), draw_weight(ws, rng));
+  return g;
+}
+
+Graph random_geometric(std::size_t n, double radius, WeightSpec ws,
+                       util::Rng& rng) {
+  Graph g(n, rng);
+  std::vector<std::pair<double, double>> pts(n);
+  for (auto& [x, y] : pts) {
+    x = rng.uniform01();
+    y = rng.uniform01();
+  }
+  const double r2 = radius * radius;
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      const double dx = pts[u].first - pts[v].first;
+      const double dy = pts[u].second - pts[v].second;
+      if (dx * dx + dy * dy <= r2) g.add_edge(u, v, draw_weight(ws, rng));
+    }
+  }
+  return g;
+}
+
+Graph hierarchical_complete(int levels, util::Rng& rng) {
+  assert(levels >= 1 && levels <= 12);
+  const std::size_t n = std::size_t{1} << levels;
+  Graph g(n, rng);
+  // LCA level of u and v in the implicit balanced binary partition over
+  // node indices: the position of the highest differing bit, 1-based.
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      int lca = 0;
+      while ((u >> lca) != (v >> lca)) ++lca;
+      // Bands of 2^16 weights per level keep levels strictly separated
+      // while the in-band noise spreads FindMin's search.
+      const Weight w = (static_cast<Weight>(lca) << 16) | rng.below(1u << 16);
+      g.add_edge(u, v, w);
+    }
+  }
+  return g;
+}
+
+Graph preferential_attachment(std::size_t n, std::size_t k, WeightSpec ws,
+                              util::Rng& rng) {
+  assert(k >= 1 && n >= k + 1);
+  Graph g(n, rng);
+  // Endpoint pool: each edge contributes both endpoints, so sampling from
+  // the pool is degree-proportional.
+  std::vector<NodeId> pool;
+  // Seed: star on the first k+1 nodes.
+  for (NodeId v = 1; v <= k; ++v) {
+    g.add_edge(0, v, draw_weight(ws, rng));
+    pool.push_back(0);
+    pool.push_back(v);
+  }
+  for (auto u = static_cast<NodeId>(k + 1); u < n; ++u) {
+    std::unordered_set<NodeId> targets;
+    while (targets.size() < k) {
+      targets.insert(pool[rng.below(pool.size())]);
+    }
+    for (NodeId t : targets) {
+      g.add_edge(u, t, draw_weight(ws, rng));
+      pool.push_back(u);
+      pool.push_back(t);
+    }
+  }
+  return g;
+}
+
+}  // namespace kkt::graph

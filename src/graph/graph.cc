@@ -1,0 +1,133 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace kkt::graph {
+
+std::vector<ExtId> random_ext_ids(std::size_t n, util::Rng& rng,
+                                  int id_bits) {
+  assert(n >= 1 && n <= kMaxExtId / 2);
+  if (id_bits == 0) {
+    // Polynomial ID space ~ n^3: collision-free sampling stays fast
+    // (2^id_bits >= 4n) and edge numbers stay short.
+    int n_bits = 1;
+    while ((std::size_t{1} << n_bits) < n) ++n_bits;
+    id_bits = std::min(31, std::max(8, 3 * n_bits + 2));
+  }
+  assert(id_bits >= 1 && id_bits <= 31);
+  const ExtId hi = static_cast<ExtId>((std::uint64_t{1} << id_bits) - 1);
+  assert(static_cast<std::uint64_t>(hi) >= 2 * n);
+  std::unordered_set<ExtId> seen;
+  std::vector<ExtId> ids;
+  ids.reserve(n);
+  while (ids.size() < n) {
+    const auto id = static_cast<ExtId>(rng.range(1, hi));
+    if (seen.insert(id).second) ids.push_back(id);
+  }
+  return ids;
+}
+
+int Graph::infer_id_bits(const std::vector<ExtId>& ids) {
+  ExtId mx = 1;
+  for (ExtId id : ids) mx = std::max(mx, id);
+  int bits = 1;
+  while ((ExtId{1} << bits) <= mx) ++bits;
+  return bits;
+}
+
+Graph::Graph(std::size_t n, util::Rng& rng, int id_bits)
+    : adjacency_(n), ext_ids_(random_ext_ids(n, rng, id_bits)) {
+  id_bits_ = infer_id_bits(ext_ids_);
+}
+
+Graph::Graph(std::vector<ExtId> ext_ids)
+    : adjacency_(ext_ids.size()), ext_ids_(std::move(ext_ids)) {
+  id_bits_ = infer_id_bits(ext_ids_);
+#ifndef NDEBUG
+  std::unordered_set<ExtId> seen;
+  for (ExtId id : ext_ids_) {
+    assert(id >= 1 && id <= kMaxExtId);
+    assert(seen.insert(id).second && "external IDs must be distinct");
+  }
+#endif
+}
+
+EdgeIdx Graph::add_edge(NodeId u, NodeId v, Weight w) {
+  assert(u < node_count() && v < node_count() && u != v);
+  assert(!find_edge(u, v).has_value() && "parallel edges are not allowed");
+  const auto e = static_cast<EdgeIdx>(edges_.size());
+  edges_.push_back(Edge{u, v, w, /*alive=*/true});
+  adjacency_[u].push_back(Incidence{v, e});
+  adjacency_[v].push_back(Incidence{u, e});
+  ++alive_edges_;
+  return e;
+}
+
+void Graph::remove_edge(EdgeIdx e) {
+  assert(e < edges_.size() && edges_[e].alive);
+  Edge& ed = edges_[e];
+  ed.alive = false;
+  unlink_from_adjacency(ed.u, e);
+  unlink_from_adjacency(ed.v, e);
+  --alive_edges_;
+}
+
+void Graph::set_weight(EdgeIdx e, Weight w) {
+  assert(e < edges_.size() && edges_[e].alive);
+  edges_[e].weight = w;
+}
+
+void Graph::unlink_from_adjacency(NodeId v, EdgeIdx e) {
+  auto& adj = adjacency_[v];
+  auto it = std::find_if(adj.begin(), adj.end(),
+                         [e](const Incidence& inc) { return inc.edge == e; });
+  assert(it != adj.end());
+  *it = adj.back();
+  adj.pop_back();
+}
+
+std::optional<NodeId> Graph::node_of_ext(ExtId id) const {
+  for (NodeId v = 0; v < node_count(); ++v) {
+    if (ext_ids_[v] == id) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<EdgeIdx> Graph::find_edge(NodeId u, NodeId v) const {
+  assert(u < node_count() && v < node_count());
+  const auto& adj =
+      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
+  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
+  for (const Incidence& inc : adj) {
+    if (inc.peer == target) return inc.edge;
+  }
+  return std::nullopt;
+}
+
+Weight Graph::max_weight() const noexcept {
+  Weight best = 0;
+  for (const Edge& e : edges_) {
+    if (e.alive) best = std::max(best, e.weight);
+  }
+  return best;
+}
+
+EdgeNum Graph::max_edge_num() const noexcept {
+  EdgeNum best = 0;
+  for (EdgeIdx e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].alive) best = std::max(best, edge_num(e));
+  }
+  return best;
+}
+
+std::vector<EdgeIdx> Graph::alive_edge_indices() const {
+  std::vector<EdgeIdx> out;
+  out.reserve(alive_edges_);
+  for (EdgeIdx e = 0; e < edges_.size(); ++e) {
+    if (edges_[e].alive) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace kkt::graph

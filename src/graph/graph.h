@@ -1,0 +1,128 @@
+// The communications network: an undirected weighted graph with unique
+// external node IDs and (augmented-)unique edge weights.
+//
+// Supports dynamic edge insertion and deletion (for the impromptu-repair
+// algorithms of Theorem 1.2); node count is fixed. Removed edge slots stay
+// allocated but are marked dead, so EdgeIdx values held by callers remain
+// stable.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace kkt::graph {
+
+struct Edge {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  Weight weight = 0;
+  bool alive = false;
+
+  NodeId other(NodeId x) const noexcept {
+    assert(x == u || x == v);
+    return x == u ? v : u;
+  }
+};
+
+// Entry of a node's adjacency list.
+struct Incidence {
+  NodeId peer;
+  EdgeIdx edge;
+};
+
+class Graph {
+ public:
+  // Creates a graph on n isolated nodes with distinct random external IDs
+  // drawn from [1, 2^id_bits). id_bits == 0 selects the polynomial default
+  // ~n^3 (the paper's ID space is {1, ..., n^c}; exponential identities are
+  // first compressed to such a space with Karp-Rabin fingerprints, see
+  // hashing/karp_rabin.h). Smaller IDs mean shorter edge numbers and a
+  // smaller augmented-weight range for FindMin to search.
+  Graph(std::size_t n, util::Rng& rng, int id_bits = 0);
+
+  // Creates a graph with caller-provided external IDs (must be distinct,
+  // in [1, kMaxExtId]).
+  Graph(std::vector<ExtId> ext_ids);
+
+  // --- topology mutation -------------------------------------------------
+  // Inserts edge {u, v} with the given weight. Returns its index.
+  // Precondition: u != v and no alive {u, v} edge exists.
+  EdgeIdx add_edge(NodeId u, NodeId v, Weight w);
+
+  // Deletes an edge. Its slot stays allocated but dead.
+  void remove_edge(EdgeIdx e);
+
+  // Changes the weight of an alive edge (augmented weight changes with it).
+  void set_weight(EdgeIdx e, Weight w);
+
+  // --- accessors ----------------------------------------------------------
+  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  std::size_t edge_count() const noexcept { return alive_edges_; }
+  std::size_t edge_slots() const noexcept { return edges_.size(); }
+
+  const Edge& edge(EdgeIdx e) const noexcept {
+    assert(e < edges_.size());
+    return edges_[e];
+  }
+  bool alive(EdgeIdx e) const noexcept { return edges_[e].alive; }
+
+  // Alive incident edges of v. The node's entire "local knowledge".
+  const std::vector<Incidence>& incident(NodeId v) const noexcept {
+    assert(v < adjacency_.size());
+    return adjacency_[v];
+  }
+  std::size_t degree(NodeId v) const noexcept { return adjacency_[v].size(); }
+
+  ExtId ext_id(NodeId v) const noexcept { return ext_ids_[v]; }
+
+  // Width of the ID space (IDs < 2^id_bits) and of edge numbers.
+  int id_bits() const noexcept { return id_bits_; }
+  int edge_num_bits() const noexcept { return 2 * id_bits_; }
+
+  // Internal node for an external ID, if any.
+  std::optional<NodeId> node_of_ext(ExtId id) const;
+
+  EdgeNum edge_num(EdgeIdx e) const noexcept {
+    const Edge& ed = edges_[e];
+    return make_edge_num(ext_ids_[ed.u], ext_ids_[ed.v], id_bits_);
+  }
+  AugWeight aug_weight(EdgeIdx e) const noexcept {
+    return make_aug_weight(edges_[e].weight, edge_num(e), edge_num_bits());
+  }
+  // Smallest augmented weight exceeding every edge of raw weight <= w.
+  AugWeight aug_upper_bound(Weight w) const noexcept {
+    return make_aug_weight(w + 1, 0, edge_num_bits());
+  }
+
+  // The alive edge {u, v}, if present.
+  std::optional<EdgeIdx> find_edge(NodeId u, NodeId v) const;
+
+  // Largest raw weight / edge number over alive edges (0 if none).
+  Weight max_weight() const noexcept;
+  EdgeNum max_edge_num() const noexcept;
+
+  // All alive edge indices (fresh vector; convenience for oracles/tests).
+  std::vector<EdgeIdx> alive_edge_indices() const;
+
+ private:
+  void unlink_from_adjacency(NodeId v, EdgeIdx e);
+  static int infer_id_bits(const std::vector<ExtId>& ids);
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Incidence>> adjacency_;
+  std::vector<ExtId> ext_ids_;
+  int id_bits_ = kMaxIdBits;
+  std::size_t alive_edges_ = 0;
+};
+
+// Draws n distinct external IDs uniformly from [1, 2^id_bits); id_bits == 0
+// selects the polynomial default (~n^3, at least 2n, at most 2^31).
+std::vector<ExtId> random_ext_ids(std::size_t n, util::Rng& rng,
+                                  int id_bits = 0);
+
+}  // namespace kkt::graph

@@ -1,0 +1,206 @@
+#include "graph/mst_oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+
+#include "graph/dsu.h"
+
+namespace kkt::graph {
+
+std::vector<EdgeIdx> kruskal_msf(const Graph& g) {
+  std::vector<EdgeIdx> order = g.alive_edge_indices();
+  std::sort(order.begin(), order.end(), [&g](EdgeIdx a, EdgeIdx b) {
+    return g.aug_weight(a) < g.aug_weight(b);
+  });
+  Dsu dsu(g.node_count());
+  std::vector<EdgeIdx> out;
+  for (EdgeIdx e : order) {
+    if (dsu.unite(g.edge(e).u, g.edge(e).v)) out.push_back(e);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<EdgeIdx> prim_msf(const Graph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<char> in_tree(n, 0);
+  std::vector<EdgeIdx> out;
+  constexpr AugWeight kInf = ~AugWeight{0};
+  for (NodeId start = 0; start < n; ++start) {
+    if (in_tree[start]) continue;
+    // Lazy Prim with linear extract-min (n is small in tests).
+    std::vector<AugWeight> best(n, kInf);
+    std::vector<EdgeIdx> best_edge(n, kNoEdge);
+    std::vector<char> in_comp(n, 0);
+    in_comp[start] = 1;
+    in_tree[start] = 1;
+    for (const Incidence& inc : g.incident(start)) {
+      best[inc.peer] = g.aug_weight(inc.edge);
+      best_edge[inc.peer] = inc.edge;
+    }
+    while (true) {
+      NodeId pick = kNoNode;
+      AugWeight pick_w = kInf;
+      for (NodeId v = 0; v < n; ++v) {
+        if (!in_comp[v] && best[v] < pick_w) {
+          pick = v;
+          pick_w = best[v];
+        }
+      }
+      if (pick == kNoNode) break;
+      in_comp[pick] = 1;
+      in_tree[pick] = 1;
+      out.push_back(best_edge[pick]);
+      for (const Incidence& inc : g.incident(pick)) {
+        if (!in_comp[inc.peer] && g.aug_weight(inc.edge) < best[inc.peer]) {
+          best[inc.peer] = g.aug_weight(inc.edge);
+          best_edge[inc.peer] = inc.edge;
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<EdgeIdx> boruvka_msf(const Graph& g) {
+  const std::size_t n = g.node_count();
+  Dsu dsu(n);
+  std::vector<EdgeIdx> out;
+  const std::vector<EdgeIdx> alive = g.alive_edge_indices();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Lightest outgoing edge per component root.
+    std::vector<EdgeIdx> best(n, kNoEdge);
+    for (EdgeIdx e : alive) {
+      const auto ru = dsu.find(g.edge(e).u);
+      const auto rv = dsu.find(g.edge(e).v);
+      if (ru == rv) continue;
+      for (auto r : {ru, rv}) {
+        if (best[r] == kNoEdge || g.aug_weight(e) < g.aug_weight(best[r])) {
+          best[r] = e;
+        }
+      }
+    }
+    for (NodeId r = 0; r < n; ++r) {
+      const EdgeIdx e = best[r];
+      if (e == kNoEdge || dsu.find(r) != r) continue;
+      if (dsu.unite(g.edge(e).u, g.edge(e).v)) {
+        out.push_back(e);
+        progress = true;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::uint64_t total_raw_weight(const Graph& g,
+                               const std::vector<EdgeIdx>& es) {
+  std::uint64_t sum = 0;
+  for (EdgeIdx e : es) sum += g.edge(e).weight;
+  return sum;
+}
+
+std::pair<std::vector<std::uint32_t>, std::size_t> components(const Graph& g) {
+  const std::size_t n = g.node_count();
+  constexpr std::uint32_t kUnset = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> label(n, kUnset);
+  std::uint32_t next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; s < n; ++s) {
+    if (label[s] != kUnset) continue;
+    label[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const NodeId v = queue.front();
+      queue.pop_front();
+      for (const Incidence& inc : g.incident(v)) {
+        if (label[inc.peer] == kUnset) {
+          label[inc.peer] = next;
+          queue.push_back(inc.peer);
+        }
+      }
+    }
+    ++next;
+  }
+  return {std::move(label), next};
+}
+
+bool is_connected(const Graph& g) { return components(g).second <= 1; }
+
+std::optional<EdgeIdx> min_cut_edge(const Graph& g,
+                                    const std::vector<char>& in_side) {
+  assert(in_side.size() == g.node_count());
+  std::optional<EdgeIdx> best;
+  for (EdgeIdx e : g.alive_edge_indices()) {
+    if (in_side[g.edge(e).u] == in_side[g.edge(e).v]) continue;
+    if (!best || g.aug_weight(e) < g.aug_weight(*best)) best = e;
+  }
+  return best;
+}
+
+bool cut_nonempty(const Graph& g, const std::vector<char>& in_side) {
+  assert(in_side.size() == g.node_count());
+  for (EdgeIdx e : g.alive_edge_indices()) {
+    if (in_side[g.edge(e).u] != in_side[g.edge(e).v]) return true;
+  }
+  return false;
+}
+
+std::optional<EdgeIdx> path_max_edge(const Graph& g,
+                                     const std::vector<EdgeIdx>& tree_edges,
+                                     NodeId u, NodeId v) {
+  // BFS from u over the given tree edges, tracking the parent edge.
+  const std::size_t n = g.node_count();
+  std::vector<std::vector<Incidence>> adj(n);
+  for (EdgeIdx e : tree_edges) {
+    adj[g.edge(e).u].push_back(Incidence{g.edge(e).v, e});
+    adj[g.edge(e).v].push_back(Incidence{g.edge(e).u, e});
+  }
+  std::vector<EdgeIdx> parent_edge(n, kNoEdge);
+  std::vector<NodeId> parent(n, kNoNode);
+  std::vector<char> seen(n, 0);
+  std::deque<NodeId> queue{u};
+  seen[u] = 1;
+  while (!queue.empty()) {
+    const NodeId x = queue.front();
+    queue.pop_front();
+    for (const Incidence& inc : adj[x]) {
+      if (seen[inc.peer]) continue;
+      seen[inc.peer] = 1;
+      parent[inc.peer] = x;
+      parent_edge[inc.peer] = inc.edge;
+      queue.push_back(inc.peer);
+    }
+  }
+  if (!seen[v] || u == v) return std::nullopt;
+  std::optional<EdgeIdx> best;
+  for (NodeId x = v; x != u; x = parent[x]) {
+    const EdgeIdx e = parent_edge[x];
+    if (!best || g.aug_weight(e) > g.aug_weight(*best)) best = e;
+  }
+  return best;
+}
+
+bool is_spanning_forest(const Graph& g, const std::vector<EdgeIdx>& edges) {
+  Dsu dsu(g.node_count());
+  for (EdgeIdx e : edges) {
+    if (!g.alive(e)) return false;
+    if (!dsu.unite(g.edge(e).u, g.edge(e).v)) return false;  // cycle
+  }
+  // Spanning: same number of components as the alive-edge graph.
+  return dsu.components() == components(g).second;
+}
+
+bool same_edge_set(std::vector<EdgeIdx> a, std::vector<EdgeIdx> b) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  return a == b;
+}
+
+}  // namespace kkt::graph

@@ -1,0 +1,57 @@
+// Sequential, centralized reference algorithms ("oracles").
+//
+// The distributed algorithms are Monte Carlo; correctness tests and the
+// repair validator compare their output against these deterministic
+// implementations. All comparisons use augmented weights, so the minimum
+// spanning forest is unique and the answers are exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace kkt::graph {
+
+// Minimum spanning forest by Kruskal. Returns edge indices, sorted.
+std::vector<EdgeIdx> kruskal_msf(const Graph& g);
+
+// Minimum spanning forest by Prim (run from every unvisited node).
+std::vector<EdgeIdx> prim_msf(const Graph& g);
+
+// Minimum spanning forest by sequential Boruvka.
+std::vector<EdgeIdx> boruvka_msf(const Graph& g);
+
+// Total augmented weight of an edge set (exact 128-bit sum may overflow for
+// huge sets; we sum raw weights as uint64 and separately count edges).
+std::uint64_t total_raw_weight(const Graph& g, const std::vector<EdgeIdx>& es);
+
+// Component label per node of the subgraph of alive edges; labels are
+// 0..k-1 in first-seen order. Returns labels and component count.
+std::pair<std::vector<std::uint32_t>, std::size_t> components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+// Lightest (by augmented weight) alive edge with exactly one endpoint in the
+// node set flagged by in_side. nullopt if the cut is empty.
+std::optional<EdgeIdx> min_cut_edge(const Graph& g,
+                                    const std::vector<char>& in_side);
+
+// Any-cut-edge existence check (for ST repair validation).
+bool cut_nonempty(const Graph& g, const std::vector<char>& in_side);
+
+// Heaviest (augmented) edge on the path from u to v inside the forest given
+// by tree_edges. nullopt if u and v are disconnected in that forest.
+std::optional<EdgeIdx> path_max_edge(const Graph& g,
+                                     const std::vector<EdgeIdx>& tree_edges,
+                                     NodeId u, NodeId v);
+
+// True if `edges` forms a spanning forest of g: acyclic and one tree per
+// alive-edge component.
+bool is_spanning_forest(const Graph& g, const std::vector<EdgeIdx>& edges);
+
+// True if two edge sets are equal as sets.
+bool same_edge_set(std::vector<EdgeIdx> a, std::vector<EdgeIdx> b);
+
+}  // namespace kkt::graph

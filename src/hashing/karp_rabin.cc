@@ -1,0 +1,42 @@
+#include "hashing/karp_rabin.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.h"
+#include "util/primes.h"
+
+namespace kkt::hashing {
+
+KarpRabinFingerprinter::KarpRabinFingerprinter(std::uint64_t n, int c,
+                                               util::Rng& rng) {
+  assert(n >= 2 && c >= 1);
+  // Union bound: n^2 pairs, each colliding iff p divides their (<= 2^128)
+  // difference, which has at most 128 / log2(window_start) prime factors in
+  // the window. Picking the window [W, 2W) with W >= n^(c+2) * 2^14 keeps
+  // the failure probability comfortably below n^-c while the number of
+  // primes in the window is ~ W / ln W.
+  const int n_bits = util::ceil_log2(n);
+  int window_bits = std::min(62, n_bits * (c + 2) + 14);
+  window_bits = std::max(window_bits, 30);
+  const std::uint64_t window_lo = std::uint64_t{1} << window_bits;
+  // Rejection-sample a random prime in [window_lo, 2*window_lo).
+  std::uint64_t candidate = window_lo + rng.below(window_lo);
+  p_ = util::next_prime(candidate);
+  if (p_ >= 2 * window_lo) p_ = util::next_prime(window_lo);
+}
+
+std::uint64_t KarpRabinFingerprinter::fingerprint(
+    util::u128 id) const noexcept {
+  // id mod p via 128-bit division (fine off the message path).
+  return static_cast<std::uint64_t>(id % p_);
+}
+
+bool KarpRabinFingerprinter::all_distinct(
+    const std::vector<std::uint64_t>& fps) {
+  std::vector<std::uint64_t> sorted = fps;
+  std::sort(sorted.begin(), sorted.end());
+  return std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end();
+}
+
+}  // namespace kkt::hashing

@@ -1,0 +1,37 @@
+// Karp-Rabin fingerprinting of node identities (paper, Introduction).
+//
+// The paper assumes IDs in {1, ..., n^c} but notes that IDs from an
+// exponential space can be mapped w.h.p. to distinct polynomial-size IDs
+// using Karp-Rabin fingerprints. We implement that mapping: an ID of up to
+// 128 bits is interpreted as a bit string and fingerprinted as its value
+// modulo a random prime drawn from a window large enough that n IDs remain
+// distinct with probability >= 1 - 1/n^c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/modmath.h"
+#include "util/rng.h"
+
+namespace kkt::hashing {
+
+class KarpRabinFingerprinter {
+ public:
+  // Prepare a fingerprinter for up to `n` identities with failure
+  // probability <= n^-c. Chooses a random prime modulus.
+  KarpRabinFingerprinter(std::uint64_t n, int c, util::Rng& rng);
+
+  // Fingerprint of a (up to) 128-bit identity: value mod p.
+  std::uint64_t fingerprint(util::u128 id) const noexcept;
+
+  std::uint64_t modulus() const noexcept { return p_; }
+
+  // True if all fingerprints of `ids` are pairwise distinct.
+  static bool all_distinct(const std::vector<std::uint64_t>& fps);
+
+ private:
+  std::uint64_t p_;
+};
+
+}  // namespace kkt::hashing

@@ -1,0 +1,70 @@
+// 2-independent hashing into a power-of-two range (paper Section 4.1).
+//
+// FindAny broadcasts a pairwise-independent h : [1, maxEdgeNum] -> [r]
+// (r a power of two) and relies on Lemma 4: with probability >= 1/16 some
+// prefix range [2^j] isolates exactly one element of the cut.
+//
+// We use the classic degree-1 polynomial over Z_p, p = kPrimeBelow63:
+//   h(x) = ((a*x + b) mod p) mod r.
+// For keys < p this is 2-independent up to an O(r/p) bias (p ~ 2^63,
+// r <= 2^32, so the bias is < 2^-30 and immaterial to Lemma 4's constant).
+// Serializes into two message words (a, b); r is known from context.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "util/bits.h"
+#include "util/modmath.h"
+#include "util/rng.h"
+
+namespace kkt::hashing {
+
+class PairwiseHash {
+ public:
+  // Identity-ish default; prefer PairwiseHash::random.
+  constexpr PairwiseHash() noexcept : a_(1), b_(0), range_bits_(1) {}
+
+  constexpr PairwiseHash(std::uint64_t a, std::uint64_t b,
+                         int range_bits) noexcept
+      : a_(a), b_(b), range_bits_(range_bits) {
+    assert(range_bits >= 1 && range_bits <= 62);
+    assert(a >= 1 && a < util::kPrimeBelow63);
+    assert(b < util::kPrimeBelow63);
+  }
+
+  // Draw a fresh function with range [0, 2^range_bits).
+  static PairwiseHash random(util::Rng& rng, int range_bits) noexcept {
+    const std::uint64_t a = 1 + rng.below(util::kPrimeBelow63 - 1);
+    const std::uint64_t b = rng.below(util::kPrimeBelow63);
+    return PairwiseHash(a, b, range_bits);
+  }
+
+  // h(x) in [0, 2^range_bits).
+  constexpr std::uint64_t operator()(std::uint64_t x) const noexcept {
+    const std::uint64_t v = util::addmod(
+        util::mulmod(a_, x, util::kPrimeBelow63), b_, util::kPrimeBelow63);
+    return v & ((std::uint64_t{1} << range_bits_) - 1);
+  }
+
+  constexpr int range_bits() const noexcept { return range_bits_; }
+  constexpr std::uint64_t range() const noexcept {
+    return std::uint64_t{1} << range_bits_;
+  }
+
+  // Wire format: two message words.
+  constexpr std::uint64_t a() const noexcept { return a_; }
+  constexpr std::uint64_t b() const noexcept { return b_; }
+
+  friend constexpr bool operator==(const PairwiseHash&,
+                                   const PairwiseHash&) = default;
+
+ private:
+  std::uint64_t a_, b_;
+  int range_bits_;
+};
+
+// Per-attempt success lower bound of FindAny's isolation step (Lemma 4).
+inline constexpr double kIsolationSuccessLowerBound = 1.0 / 16.0;
+
+}  // namespace kkt::hashing

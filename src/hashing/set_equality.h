@@ -1,0 +1,71 @@
+// Schwartz-Zippel multiset-equality checking over Z_p (paper Section 2.2).
+//
+// HP-TestOut decides whether E-up(T) == E-down(T) as multisets of edge
+// numbers by evaluating P(D)(z) = prod_{e in D} (z - e) mod p at a random
+// alpha in Z_p chosen by the initiator. Equal multisets evaluate equal for
+// every alpha (the "no leaving edge" answer is always correct); different
+// multisets collide with probability < |D|/p (Blum-Kannan / Schwartz-Zippel).
+//
+// The evaluation distributes perfectly over a broadcast-and-echo: each node
+// evaluates the product over its local edges and interior nodes multiply
+// their children's partial products -- exactly the aggregation in the paper.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/modmath.h"
+#include "util/rng.h"
+
+namespace kkt::hashing {
+
+// Evaluator for P(D)(alpha) over Z_p. Copyable, two words of state.
+class SetPolynomial {
+ public:
+  constexpr SetPolynomial(std::uint64_t alpha, std::uint64_t p) noexcept
+      : alpha_(alpha % p), p_(p) {}
+
+  static SetPolynomial random(util::Rng& rng,
+                              std::uint64_t p = util::kPrimeBelow63) noexcept {
+    return SetPolynomial(rng.below(p), p);
+  }
+
+  // prod_{e in elems} (alpha - e) mod p. Elements are reduced mod p first;
+  // with the default p > 2^62 > maxEdgeNum the reduction is the identity.
+  constexpr std::uint64_t evaluate(
+      std::span<const std::uint64_t> elems) const noexcept {
+    std::uint64_t acc = 1 % p_;
+    for (std::uint64_t e : elems) acc = util::mulmod(acc, term(e), p_);
+    return acc;
+  }
+
+  // Single factor (alpha - e) mod p.
+  constexpr std::uint64_t term(std::uint64_t e) const noexcept {
+    return util::submod(alpha_, e % p_, p_);
+  }
+
+  // Combine partial products (the interior-node step of the echo).
+  constexpr std::uint64_t combine(std::uint64_t x,
+                                  std::uint64_t y) const noexcept {
+    return util::mulmod(x, y, p_);
+  }
+
+  // Multiplicative identity, the value contributed by an empty edge set.
+  constexpr std::uint64_t identity() const noexcept { return 1 % p_; }
+
+  constexpr std::uint64_t alpha() const noexcept { return alpha_; }
+  constexpr std::uint64_t modulus() const noexcept { return p_; }
+
+ private:
+  std::uint64_t alpha_;
+  std::uint64_t p_;
+};
+
+// Upper bound on the false-equality probability for multisets of total size
+// at most total_elems: deg(P) / p.
+constexpr double set_equality_error_bound(std::uint64_t total_elems,
+                                          std::uint64_t p) noexcept {
+  return static_cast<double>(total_elems) / static_cast<double>(p);
+}
+
+}  // namespace kkt::hashing

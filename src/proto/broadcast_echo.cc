@@ -1,0 +1,76 @@
+#include "proto/broadcast_echo.h"
+
+#include <cassert>
+#include <utility>
+
+namespace kkt::proto {
+
+BroadcastEcho::BroadcastEcho(const graph::TreeView& tree, NodeId root,
+                             Words payload, LocalFn local, CombineFn combine)
+    : tree_(tree),
+      root_(root),
+      payload_(std::move(payload)),
+      local_(std::move(local)),
+      combine_(std::move(combine)),
+      state_(tree.graph().node_count()) {}
+
+void BroadcastEcho::start_node(sim::Network& net, NodeId self, NodeId parent,
+                               std::span<const std::uint64_t> payload) {
+  NodeState& st = state_[self];
+  assert(!st.started && "tree contains a cycle: broadcast arrived twice");
+  st.started = true;
+  st.parent = parent;
+  st.acc = local_(self, payload);
+  std::uint32_t children = 0;
+  for (const graph::Incidence& inc : tree_.neighbors(self)) {
+    if (inc.peer == parent) continue;
+    sim::Message msg(sim::Tag::kBroadcast);
+    msg.words.assign(payload.begin(), payload.end());
+    net.send(self, inc.peer, std::move(msg));
+    ++children;
+  }
+  st.pending = children;
+  // Scratch footprint: parent id + pending counter + accumulator words.
+  net.report_node_state_bits(64 + 64 * st.acc.size());
+  if (children == 0) absorb_and_maybe_echo(net, self);
+}
+
+void BroadcastEcho::on_start(sim::Network& net, NodeId self) {
+  assert(self == root_ && "only the root initiates a broadcast-and-echo");
+  start_node(net, self, graph::kNoNode, payload_);
+}
+
+void BroadcastEcho::on_message(sim::Network& net, NodeId self, NodeId from,
+                               const sim::Message& msg) {
+  NodeState& st = state_[self];
+  switch (msg.tag) {
+    case sim::Tag::kBroadcast:
+      start_node(net, self, from, msg.words);
+      break;
+    case sim::Tag::kEcho: {
+      assert(st.started && st.pending > 0);
+      const auto edge = tree_.graph().find_edge(self, from);
+      assert(edge.has_value());
+      combine_(self, from, *edge, st.acc, msg.words);
+      --st.pending;
+      if (st.pending == 0) absorb_and_maybe_echo(net, self);
+      break;
+    }
+    default:
+      assert(false && "unexpected message tag in broadcast-and-echo");
+  }
+}
+
+void BroadcastEcho::absorb_and_maybe_echo(sim::Network& net, NodeId self) {
+  NodeState& st = state_[self];
+  if (self == root_) {
+    done_ = true;
+    result_ = st.acc;
+    return;
+  }
+  sim::Message echo(sim::Tag::kEcho);
+  echo.words = st.acc;
+  net.send(self, st.parent, std::move(echo));
+}
+
+}  // namespace kkt::proto

@@ -1,0 +1,121 @@
+#include "proto/leader_election.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace kkt::proto {
+
+LeaderElection::LeaderElection(const graph::TreeView& tree)
+    : tree_(tree), state_(tree.graph().node_count()) {}
+
+void LeaderElection::on_start(sim::Network& net, NodeId self) {
+  NodeState& st = state_[self];
+  assert(!st.started);
+  st.started = true;
+  st.degree = static_cast<std::uint32_t>(tree_.degree(self));
+  net.report_node_state_bits(64 * 3);
+  if (st.degree == 0) {
+    // Singleton fragment: trivially the leader.
+    st.center = true;
+    st.leader_ext = tree_.graph().ext_id(self);
+    leader_ = self;
+    return;
+  }
+  maybe_progress(net, self);
+}
+
+bool LeaderElection::heard_from(const NodeState& st, NodeId y) const {
+  return std::find(st.received.begin(), st.received.end(), y) !=
+         st.received.end();
+}
+
+void LeaderElection::on_message(sim::Network& net, NodeId self, NodeId from,
+                                const sim::Message& msg) {
+  NodeState& st = state_[self];
+  switch (msg.tag) {
+    case sim::Tag::kElectEcho: {
+      assert(st.started && !heard_from(st, from));
+      st.received.push_back(from);
+      if (st.received.size() == st.degree) {
+        // Heard from everyone: this node is a median ("center").
+        st.center = true;
+        if (st.sent_to == graph::kNoNode) {
+          // Sole center.
+          become_leader(net, self);
+        } else {
+          // Two neighboring centers: self sent to `from` and `from` sent
+          // back. Higher external ID wins; both endpoints decide locally
+          // and consistently (KT1: each knows the neighbor's ID).
+          assert(st.sent_to == from);
+          if (tree_.graph().ext_id(self) > tree_.graph().ext_id(from)) {
+            become_leader(net, self);
+          }
+        }
+      } else {
+        maybe_progress(net, self);
+      }
+      break;
+    }
+    case sim::Tag::kLeaderAnnounce:
+      relay_announce(net, self, from, msg.words.at(0));
+      break;
+    default:
+      assert(false && "unexpected message tag in leader election");
+  }
+}
+
+void LeaderElection::maybe_progress(sim::Network& net, NodeId self) {
+  NodeState& st = state_[self];
+  if (st.sent_to != graph::kNoNode || st.center) return;
+  if (st.received.size() + 1 != st.degree) return;
+  // Exactly one unheard tree neighbor: send the converging echo to it.
+  for (const graph::Incidence& inc : tree_.neighbors(self)) {
+    if (!heard_from(st, inc.peer)) {
+      st.sent_to = inc.peer;
+      net.send(self, inc.peer, sim::Message(sim::Tag::kElectEcho));
+      return;
+    }
+  }
+  assert(false && "unheard neighbor not found");
+}
+
+void LeaderElection::become_leader(sim::Network& net, NodeId self) {
+  leader_ = self;
+  relay_announce(net, self, graph::kNoNode,
+                 tree_.graph().ext_id(self));
+}
+
+void LeaderElection::relay_announce(sim::Network& net, NodeId self,
+                                    NodeId from, std::uint64_t leader_ext) {
+  NodeState& st = state_[self];
+  assert(st.leader_ext == 0 && "leader announced twice");
+  st.leader_ext = leader_ext;
+  for (const graph::Incidence& inc : tree_.neighbors(self)) {
+    if (inc.peer == from) continue;
+    net.send(self, inc.peer,
+             sim::Message(sim::Tag::kLeaderAnnounce, {leader_ext}));
+  }
+}
+
+std::vector<CycleMember> LeaderElection::stalled_cycle(
+    std::span<const NodeId> fragment) const {
+  std::vector<CycleMember> out;
+  for (NodeId v : fragment) {
+    const NodeState& st = state_[v];
+    if (!st.started || st.center || st.sent_to != graph::kNoNode) continue;
+    if (st.degree < 2 || st.received.size() + 2 != st.degree) continue;
+    CycleMember member{v, {graph::kNoNode, graph::kNoNode}};
+    int k = 0;
+    for (const graph::Incidence& inc : tree_.neighbors(v)) {
+      if (!heard_from(st, inc.peer)) {
+        assert(k < 2);
+        member.cycle_neighbor[k++] = inc.peer;
+      }
+    }
+    assert(k == 2);
+    out.push_back(member);
+  }
+  return out;
+}
+
+}  // namespace kkt::proto

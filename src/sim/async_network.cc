@@ -1,0 +1,32 @@
+#include "sim/async_network.h"
+
+#include <utility>
+
+namespace kkt::sim {
+
+void AsyncNetwork::enqueue(Envelope env) {
+  const std::uint64_t delay = delay_rng_.range(1, cfg_.max_delay);
+  events_.push(Event{now_ + delay, seq_++, std::move(env)});
+}
+
+std::uint64_t AsyncNetwork::drain(Protocol& proto, std::uint64_t max_rounds) {
+  const std::uint64_t start = now_;
+  while (!events_.empty()) {
+    // Structured binding on the const top() would copy; move out instead.
+    Event ev = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = ev.at;
+    if (now_ - start > max_rounds) {
+      // Backstop hit: drop undeliverable leftovers so the next operation
+      // starts from a clean transport.
+      events_ = {};
+      break;
+    }
+    proto.on_message(*this, ev.env.to, ev.env.from, ev.env.msg);
+  }
+  const std::uint64_t elapsed = now_ - start;
+  now_ = 0;  // virtual clock is per-operation
+  return elapsed;
+}
+
+}  // namespace kkt::sim

@@ -1,0 +1,54 @@
+// Asynchronous network: messages are eventually delivered, after an
+// adversarially variable (here: random, seeded) delay. Used by the
+// impromptu-repair algorithms of Theorem 1.2, which the paper states for
+// asynchronous communication.
+//
+// Delivery is a discrete-event simulation: each send draws an integer delay
+// in [1, max_delay] from the network's RNG; events are processed in
+// timestamp order (ties broken by send order, making runs deterministic).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+
+#include "sim/network.h"
+
+namespace kkt::sim {
+
+class AsyncNetwork final : public Network {
+ public:
+  struct Config {
+    // Delays are drawn uniformly from [1, max_delay].
+    std::uint64_t max_delay;
+    constexpr Config(std::uint64_t max_delay_ = 16) noexcept
+        : max_delay(max_delay_) {}
+  };
+
+  explicit AsyncNetwork(const graph::Graph& g, std::uint64_t seed = 1,
+                        Config cfg = {})
+      : Network(g, seed), cfg_(cfg), delay_rng_(util::mix_seeds(seed, 0xa57)) {}
+
+ protected:
+  void enqueue(Envelope env) override;
+  std::uint64_t drain(Protocol& proto, std::uint64_t max_rounds) override;
+
+ private:
+  struct Event {
+    std::uint64_t at;
+    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
+    Envelope env;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  Config cfg_;
+  util::Rng delay_rng_;
+  std::uint64_t now_ = 0;
+  std::uint64_t seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace kkt::sim

@@ -1,0 +1,52 @@
+// Cost accounting: the experimental observables of every theorem.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/message.h"
+
+namespace kkt::sim {
+
+struct Metrics {
+  // Total messages sent (every hop of every protocol).
+  std::uint64_t messages = 0;
+  // Total payload bits sent.
+  std::uint64_t message_bits = 0;
+  // Simulated time: synchronous rounds, or asynchronous virtual time units.
+  // Sequential operations add; parallel fragment phases add the max over
+  // fragments (see ParallelPhase in network.h).
+  std::uint64_t rounds = 0;
+  // Number of broadcast-and-echo operations performed (paper's unit of
+  // account for FindMin/FindAny analysis).
+  std::uint64_t broadcast_echoes = 0;
+  // Messages that exceeded the CONGEST word budget (0 in a correct run).
+  std::uint64_t oversized_messages = 0;
+  // High-water mark of per-node protocol scratch state, in bits, as
+  // reported by protocols (audits the O(log(n+u)) memory claim).
+  std::uint64_t peak_node_state_bits = 0;
+  // Message count broken down by protocol tag (indices follow sim::Tag).
+  std::array<std::uint64_t, static_cast<std::size_t>(Tag::kTagCount)>
+      per_tag{};
+
+  std::uint64_t tag_count(Tag t) const {
+    return per_tag[static_cast<std::size_t>(t)];
+  }
+
+  void reset() { *this = Metrics{}; }
+
+  Metrics& operator+=(const Metrics& o) {
+    messages += o.messages;
+    message_bits += o.message_bits;
+    rounds += o.rounds;
+    broadcast_echoes += o.broadcast_echoes;
+    oversized_messages += o.oversized_messages;
+    if (o.peak_node_state_bits > peak_node_state_bits) {
+      peak_node_state_bits = o.peak_node_state_bits;
+    }
+    for (std::size_t i = 0; i < per_tag.size(); ++i) per_tag[i] += o.per_tag[i];
+    return *this;
+  }
+};
+
+}  // namespace kkt::sim

@@ -1,0 +1,69 @@
+#include "sim/network.h"
+
+#include <cassert>
+
+namespace kkt::sim {
+
+const char* tag_name(Tag t) noexcept {
+  switch (t) {
+    case Tag::kNone: return "none";
+    case Tag::kBroadcast: return "broadcast";
+    case Tag::kEcho: return "echo";
+    case Tag::kElectEcho: return "elect-echo";
+    case Tag::kLeaderAnnounce: return "leader-announce";
+    case Tag::kCycleUnmarkProposal: return "cycle-unmark";
+    case Tag::kAddEdge: return "add-edge";
+    case Tag::kDropEdge: return "drop-edge";
+    case Tag::kSampleRequest: return "sample-request";
+    case Tag::kSampleReply: return "sample-reply";
+    case Tag::kGhsTest: return "ghs-test";
+    case Tag::kGhsAccept: return "ghs-accept";
+    case Tag::kGhsReject: return "ghs-reject";
+    case Tag::kGhsReport: return "ghs-report";
+    case Tag::kGhsConnect: return "ghs-connect";
+    case Tag::kGhsFragment: return "ghs-fragment";
+    case Tag::kFloodExplore: return "flood-explore";
+    case Tag::kFloodAck: return "flood-ack";
+    case Tag::kNaiveProbe: return "naive-probe";
+    case Tag::kNaiveProbeReply: return "naive-probe-reply";
+    case Tag::kTagCount: break;
+  }
+  return "?";
+}
+
+Network::Network(const graph::Graph& g, std::uint64_t seed) : graph_(&g) {
+  util::Rng master(seed);
+  node_rngs_.reserve(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    node_rngs_.push_back(master.fork(v));
+  }
+}
+
+void Network::send(NodeId from, NodeId to, Message msg) {
+  assert(active_ != nullptr && "send outside of Network::run");
+  assert(from < graph_->node_count() && to < graph_->node_count());
+  assert(graph_->find_edge(from, to).has_value() &&
+         "message sent along a non-existent edge");
+  metrics_.messages += 1;
+  metrics_.message_bits += msg.bits();
+  metrics_.per_tag[static_cast<std::size_t>(msg.tag)] += 1;
+  if (msg.words.size() > kMaxMessageWords) {
+    ++metrics_.oversized_messages;
+    assert(false && "CONGEST message budget exceeded");
+  }
+  enqueue(Envelope{from, to, std::move(msg)});
+}
+
+std::uint64_t Network::run(Protocol& proto,
+                           std::span<const NodeId> participants,
+                           std::uint64_t max_rounds) {
+  assert(active_ == nullptr && "nested Network::run");
+  active_ = &proto;
+  for (NodeId v : participants) proto.on_start(*this, v);
+  const std::uint64_t elapsed = drain(proto, max_rounds);
+  active_ = nullptr;
+  metrics_.rounds += elapsed;
+  return elapsed;
+}
+
+}  // namespace kkt::sim

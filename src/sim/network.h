@@ -1,0 +1,127 @@
+// The network abstraction shared by the synchronous and asynchronous
+// simulators.
+//
+// A Protocol is a distributed algorithm: one object serves all nodes, but
+// every callback is scoped to a single node (`self`), and implementations
+// must only read/write state indexed by `self` plus the content of received
+// messages. Node-local knowledge of the topology is exactly the node's
+// alive incident edges (Graph::incident) and its mark bits -- the KT1 model.
+//
+// Network::run executes one protocol instance to quiescence (no undelivered
+// messages) and adds its cost to the accumulated Metrics. Sequential
+// compositions (e.g. the loop inside FindMin) just call run repeatedly;
+// fragment-parallel compositions (Boruvka phases) wrap their per-fragment
+// runs in a ParallelPhase so that elapsed time counts as the max over
+// fragments while messages still sum.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sim/message.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+namespace kkt::sim {
+
+using graph::NodeId;
+
+class Network;
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  // Called once per participant before any message flows.
+  virtual void on_start(Network& net, NodeId self) = 0;
+  // Called on delivery of a message to `self` from neighbor `from`.
+  virtual void on_message(Network& net, NodeId self, NodeId from,
+                          const Message& msg) = 0;
+};
+
+class Network {
+ public:
+  explicit Network(const graph::Graph& g, std::uint64_t seed);
+  virtual ~Network() = default;
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  // Sends msg from `from` to `to`. Precondition: an alive edge {from, to}
+  // exists (checked). Counted in Metrics.
+  void send(NodeId from, NodeId to, Message msg);
+
+  // Runs `proto` with the given participants until quiescence; returns the
+  // elapsed rounds / virtual time of this operation, which is also added to
+  // metrics().rounds. `max_rounds` bounds the execution (protocols that
+  // stall, e.g. leader election on a cycle, simply reach quiescence early;
+  // the bound is a backstop for tests).
+  std::uint64_t run(Protocol& proto, std::span<const NodeId> participants,
+                    std::uint64_t max_rounds = kDefaultMaxRounds);
+
+  const graph::Graph& graph() const noexcept { return *graph_; }
+  Metrics& metrics() noexcept { return metrics_; }
+  const Metrics& metrics() const noexcept { return metrics_; }
+
+  // Per-node random stream (deterministic given the network seed).
+  util::Rng& node_rng(NodeId v) noexcept { return node_rngs_[v]; }
+
+  // Protocols report their peak per-node scratch footprint (bits) here.
+  void report_node_state_bits(std::uint64_t bits) noexcept {
+    if (bits > metrics_.peak_node_state_bits) {
+      metrics_.peak_node_state_bits = bits;
+    }
+  }
+
+  static constexpr std::uint64_t kDefaultMaxRounds = 1u << 26;
+
+ protected:
+  struct Envelope {
+    NodeId from;
+    NodeId to;
+    Message msg;
+  };
+
+  // Transport hook: queue the envelope for delivery.
+  virtual void enqueue(Envelope env) = 0;
+  // Transport hook: deliver everything, return elapsed time of the op.
+  virtual std::uint64_t drain(Protocol& proto, std::uint64_t max_rounds) = 0;
+
+  const graph::Graph* graph_;
+  Metrics metrics_;
+  std::vector<util::Rng> node_rngs_;
+  Protocol* active_ = nullptr;  // protocol being run (sends allowed only then)
+};
+
+// Accounts elapsed time for operations that run conceptually in parallel
+// (one per fragment in a Boruvka phase): messages sum as usual, but
+// metrics().rounds advances by the maximum branch duration instead of the
+// sum. Usage:
+//   ParallelPhase phase(net);
+//   for (frag : fragments) { phase.begin_branch(); ...run ops...; phase.end_branch(); }
+//   phase.finish();
+class ParallelPhase {
+ public:
+  explicit ParallelPhase(Network& net)
+      : net_(&net), base_rounds_(net.metrics().rounds) {}
+
+  void begin_branch() { net_->metrics().rounds = base_rounds_; }
+
+  void end_branch() {
+    const std::uint64_t used = net_->metrics().rounds - base_rounds_;
+    if (used > max_branch_) max_branch_ = used;
+  }
+
+  // Sets total elapsed time to base + max over branches.
+  void finish() { net_->metrics().rounds = base_rounds_ + max_branch_; }
+
+  std::uint64_t max_branch_rounds() const noexcept { return max_branch_; }
+
+ private:
+  Network* net_;
+  std::uint64_t base_rounds_;
+  std::uint64_t max_branch_ = 0;
+};
+
+}  // namespace kkt::sim

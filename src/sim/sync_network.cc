@@ -1,0 +1,23 @@
+#include "sim/sync_network.h"
+
+#include <utility>
+
+namespace kkt::sim {
+
+void SyncNetwork::enqueue(Envelope env) { next_.push_back(std::move(env)); }
+
+std::uint64_t SyncNetwork::drain(Protocol& proto, std::uint64_t max_rounds) {
+  std::uint64_t round = 0;
+  while (!next_.empty() && round < max_rounds) {
+    ++round;
+    current_.swap(next_);
+    while (!current_.empty()) {
+      Envelope env = std::move(current_.front());
+      current_.pop_front();
+      proto.on_message(*this, env.to, env.from, env.msg);
+    }
+  }
+  return round;
+}
+
+}  // namespace kkt::sim

@@ -1,0 +1,53 @@
+// Small bit utilities and 128-bit word (de)serialization helpers.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace kkt::util {
+
+using u128 = unsigned __int128;
+
+// floor(log2(x)) for x > 0.
+constexpr int floor_log2(std::uint64_t x) noexcept {
+  assert(x > 0);
+  return 63 - std::countl_zero(x);
+}
+
+// ceil(log2(x)) for x > 0; ceil_log2(1) == 0.
+constexpr int ceil_log2(std::uint64_t x) noexcept {
+  assert(x > 0);
+  return (x == 1) ? 0 : floor_log2(x - 1) + 1;
+}
+
+// Smallest power of two >= x (x > 0, x <= 2^63).
+constexpr std::uint64_t next_pow2(std::uint64_t x) noexcept {
+  assert(x > 0 && x <= (1ULL << 63));
+  return std::uint64_t{1} << ceil_log2(x);
+}
+
+// floor(log2(x)) for 128-bit x > 0.
+constexpr int floor_log2_u128(u128 x) noexcept {
+  assert(x > 0);
+  const auto hi = static_cast<std::uint64_t>(x >> 64);
+  if (hi != 0) return 64 + floor_log2(hi);
+  return floor_log2(static_cast<std::uint64_t>(x));
+}
+
+// Number of bits needed to represent x (bit_width); bit_width_u128(0) == 0.
+constexpr int bit_width_u128(u128 x) noexcept {
+  return x == 0 ? 0 : floor_log2_u128(x) + 1;
+}
+
+constexpr std::uint64_t lo64(u128 x) noexcept {
+  return static_cast<std::uint64_t>(x);
+}
+constexpr std::uint64_t hi64(u128 x) noexcept {
+  return static_cast<std::uint64_t>(x >> 64);
+}
+constexpr u128 make_u128(std::uint64_t hi, std::uint64_t lo) noexcept {
+  return (static_cast<u128>(hi) << 64) | lo;
+}
+
+}  // namespace kkt::util

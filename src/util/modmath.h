@@ -1,0 +1,65 @@
+// 64/128-bit modular arithmetic used by the hashing machinery.
+//
+// HP-TestOut evaluates Schwartz-Zippel products over Z_p with p just below
+// 2^63 (the paper, Section 2.2: "we may take p to be the maximum prime p with
+// |p| < w"). mulmod therefore needs the full 64x64->128 multiply.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace kkt::util {
+
+using u128 = unsigned __int128;
+
+// (a * b) mod m for any m < 2^64.
+constexpr std::uint64_t mulmod(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t m) noexcept {
+  assert(m != 0);
+  return static_cast<std::uint64_t>(static_cast<u128>(a) * b % m);
+}
+
+// (a + b) mod m, assuming a, b < m.
+constexpr std::uint64_t addmod(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t m) noexcept {
+  assert(a < m && b < m);
+  const std::uint64_t s = a + b;
+  return (s >= m || s < a) ? s - m : s;
+}
+
+// (a - b) mod m, assuming a, b < m.
+constexpr std::uint64_t submod(std::uint64_t a, std::uint64_t b,
+                               std::uint64_t m) noexcept {
+  assert(a < m && b < m);
+  return a >= b ? a - b : a + (m - b);
+}
+
+// a^e mod m by square-and-multiply.
+constexpr std::uint64_t powmod(std::uint64_t a, std::uint64_t e,
+                               std::uint64_t m) noexcept {
+  assert(m != 0);
+  std::uint64_t base = a % m;
+  std::uint64_t acc = 1 % m;
+  while (e != 0) {
+    if (e & 1) acc = mulmod(acc, base, m);
+    base = mulmod(base, base, m);
+    e >>= 1;
+  }
+  return acc;
+}
+
+// Modular inverse of a modulo prime p (Fermat). Precondition: a % p != 0.
+constexpr std::uint64_t invmod_prime(std::uint64_t a, std::uint64_t p) noexcept {
+  assert(a % p != 0);
+  return powmod(a, p - 2, p);
+}
+
+// The largest prime below 2^63. Default field modulus for HP-TestOut: it
+// exceeds every edge number (< 2^62 by construction, see graph/edge_ids.h)
+// and B/eps(n) for all practical B and eps, as the paper permits for a
+// word size w = 64.
+inline constexpr std::uint64_t kPrimeBelow63 = 9223372036854775783ULL;
+
+static_assert(kPrimeBelow63 < (1ULL << 63));
+
+}  // namespace kkt::util

@@ -1,0 +1,69 @@
+#include "util/primes.h"
+
+#include <array>
+#include <cassert>
+
+#include "util/modmath.h"
+
+namespace kkt::util {
+namespace {
+
+// One Miller-Rabin round for witness a. Returns true if n passes (is a
+// probable prime to base a). d and r satisfy n - 1 = d * 2^r with d odd.
+bool miller_rabin_round(std::uint64_t n, std::uint64_t a, std::uint64_t d,
+                        int r) noexcept {
+  const std::uint64_t base = a % n;
+  if (base == 0) return true;
+  std::uint64_t x = powmod(base, d, n);
+  if (x == 1 || x == n - 1) return true;
+  for (int i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) noexcept {
+  if (n < 2) return false;
+  // Strip small prime factors first.
+  constexpr std::array<std::uint64_t, 12> kSmall = {2,  3,  5,  7,  11, 13,
+                                                    17, 19, 23, 29, 31, 37};
+  for (std::uint64_t p : kSmall) {
+    if (n == p) return true;
+    if (n % p == 0) return false;
+  }
+  std::uint64_t d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all n < 2^64
+  // (Sorenson & Webster 2015).
+  for (std::uint64_t a : kSmall) {
+    if (!miller_rabin_round(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+std::uint64_t next_prime(std::uint64_t n) noexcept {
+  if (n <= 2) return 2;
+  std::uint64_t c = n | 1;  // first odd >= n
+  while (!is_prime_u64(c)) {
+    assert(c + 2 > c && "next_prime overflow");
+    c += 2;
+  }
+  return c;
+}
+
+std::uint64_t prev_prime(std::uint64_t n) noexcept {
+  assert(n >= 2);
+  if (n == 2) return 2;
+  std::uint64_t c = (n % 2 == 0) ? n - 1 : n;
+  while (!is_prime_u64(c)) c -= 2;
+  return c;
+}
+
+}  // namespace kkt::util

@@ -1,0 +1,24 @@
+// Deterministic 64-bit primality testing and prime search.
+//
+// HP-TestOut (paper Section 2.2, step 0) lets the initiator pick a prime
+// p > max{maxEdgeNum(T), B/eps(n)} when no prime is agreed upon in advance.
+// We provide a deterministic Miller-Rabin for the full 64-bit range so that
+// the "step 0" code path can find such a prime locally.
+#pragma once
+
+#include <cstdint>
+
+namespace kkt::util {
+
+// Deterministic Miller-Rabin, valid for all n < 2^64
+// (witness set {2,3,5,7,11,13,17,19,23,29,31,37}).
+bool is_prime_u64(std::uint64_t n) noexcept;
+
+// Smallest prime >= n. Precondition: a prime >= n exists below 2^64
+// (true for every n <= 2^64 - 59).
+std::uint64_t next_prime(std::uint64_t n) noexcept;
+
+// Largest prime <= n. Precondition: n >= 2.
+std::uint64_t prev_prime(std::uint64_t n) noexcept;
+
+}  // namespace kkt::util

@@ -1,0 +1,113 @@
+// Deterministic, seedable pseudo-random number generation.
+//
+// All randomness in the library flows through Rng so that every simulation,
+// test and benchmark is reproducible from a single 64-bit seed. The generator
+// is xoshiro256** seeded via SplitMix64 (the initialization recommended by
+// the xoshiro authors). It is not cryptographic; the algorithms in this
+// library only need the statistical quality assumed by the paper's analysis.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+
+namespace kkt::util {
+
+// One SplitMix64 step; used for seeding and as a cheap stateless mixer.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// Stateless mix of two seeds into one; convenient for deriving per-node or
+// per-operation substreams that are independent for practical purposes.
+constexpr std::uint64_t mix_seeds(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t s = a ^ (0x9e3779b97f4a7c15ULL + (b << 6) + (b >> 2));
+  std::uint64_t r = splitmix64(s);
+  s ^= b;
+  return r ^ splitmix64(s);
+}
+
+// xoshiro256** 1.0 (Blackman & Vigna). 256 bits of state, period 2^256-1.
+// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedf00dULL) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform value in [0, bound). Lemire-style rejection to avoid modulo bias.
+  constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+    assert(bound > 0);
+    unsigned __int128 product =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto low = static_cast<std::uint64_t>(product);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        product = static_cast<unsigned __int128>(next()) * bound;
+        low = static_cast<std::uint64_t>(product);
+      }
+    }
+    return static_cast<std::uint64_t>(product >> 64);
+  }
+
+  // Uniform value in the closed interval [lo, hi].
+  constexpr std::uint64_t range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    assert(lo <= hi);
+    if (lo == 0 && hi == max()) return next();
+    return lo + below(hi - lo + 1);
+  }
+
+  // Fair coin.
+  constexpr bool coin() noexcept { return (next() >> 63) != 0; }
+
+  // Bernoulli(p) for p expressed as numer/denom.
+  constexpr bool bernoulli(std::uint64_t numer, std::uint64_t denom) noexcept {
+    assert(denom > 0 && numer <= denom);
+    return below(denom) < numer;
+  }
+
+  // Uniform double in [0, 1). 53 random mantissa bits.
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Derive an independent child generator (e.g. one per node).
+  constexpr Rng fork(std::uint64_t tag) noexcept {
+    return Rng(mix_seeds(next(), tag));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace kkt::util

@@ -1,0 +1,373 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/dsu.h"
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/mst_oracle.h"
+#include "util/rng.h"
+
+namespace kkt::graph {
+namespace {
+
+TEST(Types, EdgeNumConcatenatesSmallestFirst) {
+  const EdgeNum e = make_edge_num(5, 3);
+  EXPECT_EQ(edge_num_small_id(e), 3u);
+  EXPECT_EQ(edge_num_large_id(e), 5u);
+  EXPECT_EQ(e, make_edge_num(3, 5));
+  EXPECT_LT(e, util::u128{1} << kMaxEdgeNumBits);
+}
+
+TEST(Types, AugWeightRoundTrip) {
+  const EdgeNum en = make_edge_num(kMaxExtId, kMaxExtId - 1);
+  const AugWeight aw = make_aug_weight(12345, en);
+  EXPECT_EQ(aug_weight_raw(aw), 12345u);
+  EXPECT_EQ(aug_weight_edge_num(aw), en);
+}
+
+TEST(Types, AugWeightOrdersByRawWeightFirst) {
+  const EdgeNum big = make_edge_num(kMaxExtId, kMaxExtId - 1);
+  const EdgeNum small = make_edge_num(1, 2);
+  EXPECT_LT(make_aug_weight(1, big), make_aug_weight(2, small));
+  EXPECT_LT(make_aug_weight(7, small), make_aug_weight(7, big));
+}
+
+TEST(Graph, AddRemoveEdges) {
+  util::Rng rng(1);
+  Graph g(4, rng);
+  const EdgeIdx e01 = g.add_edge(0, 1, 10);
+  const EdgeIdx e12 = g.add_edge(1, 2, 20);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_TRUE(g.find_edge(0, 1).has_value());
+  EXPECT_TRUE(g.find_edge(1, 0).has_value());
+  EXPECT_FALSE(g.find_edge(0, 2).has_value());
+
+  g.remove_edge(e01);
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_FALSE(g.alive(e01));
+  EXPECT_TRUE(g.alive(e12));
+  EXPECT_EQ(g.degree(0), 0u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_FALSE(g.find_edge(0, 1).has_value());
+
+  // Re-insertion gets a fresh slot; the old index stays dead.
+  const EdgeIdx e01b = g.add_edge(0, 1, 30);
+  EXPECT_NE(e01b, e01);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Graph, ExternalIdsDistinctAndMapped) {
+  util::Rng rng(2);
+  Graph g(100, rng);
+  std::set<ExtId> ids;
+  for (NodeId v = 0; v < 100; ++v) {
+    const ExtId id = g.ext_id(v);
+    EXPECT_GE(id, 1u);
+    EXPECT_LE(id, kMaxExtId);
+    EXPECT_TRUE(ids.insert(id).second);
+    EXPECT_EQ(g.node_of_ext(id), v);
+  }
+  EXPECT_FALSE(g.node_of_ext(0).has_value());
+}
+
+TEST(Graph, AugWeightsUniqueEvenWithEqualRawWeights) {
+  util::Rng rng(3);
+  Graph g(10, rng);
+  for (NodeId u = 0; u < 10; ++u) {
+    for (NodeId v = u + 1; v < 10; ++v) g.add_edge(u, v, 7);
+  }
+  std::set<AugWeight> seen;
+  for (EdgeIdx e : g.alive_edge_indices()) {
+    EXPECT_TRUE(seen.insert(g.aug_weight(e)).second);
+  }
+}
+
+TEST(Graph, SetWeight) {
+  util::Rng rng(4);
+  Graph g(2, rng);
+  const EdgeIdx e = g.add_edge(0, 1, 5);
+  g.set_weight(e, 9);
+  EXPECT_EQ(g.edge(e).weight, 9u);
+  EXPECT_EQ(aug_weight_raw(g.aug_weight(e), g.edge_num_bits()), 9u);
+  EXPECT_EQ(g.max_weight(), 9u);
+}
+
+TEST(Dsu, UniteAndComponents) {
+  Dsu dsu(6);
+  EXPECT_EQ(dsu.components(), 6u);
+  EXPECT_TRUE(dsu.unite(0, 1));
+  EXPECT_TRUE(dsu.unite(2, 3));
+  EXPECT_FALSE(dsu.unite(1, 0));
+  EXPECT_TRUE(dsu.unite(0, 2));
+  EXPECT_EQ(dsu.components(), 3u);
+  EXPECT_TRUE(dsu.same(1, 3));
+  EXPECT_FALSE(dsu.same(0, 4));
+  EXPECT_EQ(dsu.component_size(3), 4u);
+}
+
+// --- generators ------------------------------------------------------------
+
+TEST(Generators, GnmHasExactCountsAndIsConnected) {
+  util::Rng rng(5);
+  for (auto [n, m] : {std::pair<std::size_t, std::size_t>{2, 1},
+                      {10, 9},
+                      {10, 30},
+                      {64, 200},
+                      {100, 4950}}) {
+    Graph g = random_connected_gnm(n, m, {}, rng);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_EQ(g.edge_count(), m);
+    EXPECT_TRUE(is_connected(g));
+  }
+}
+
+TEST(Generators, TreeIsATree) {
+  util::Rng rng(6);
+  Graph g = random_tree(50, {}, rng);
+  EXPECT_EQ(g.edge_count(), 49u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, SingleNode) {
+  util::Rng rng(7);
+  Graph g = random_connected_gnm(1, 0, {}, rng);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CompleteGraph) {
+  util::Rng rng(8);
+  Graph g = complete(8, {}, rng);
+  EXPECT_EQ(g.edge_count(), 28u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 7u);
+}
+
+TEST(Generators, RingDegrees) {
+  util::Rng rng(9);
+  Graph g = ring(12, {}, rng);
+  EXPECT_EQ(g.edge_count(), 12u);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, GridStructure) {
+  util::Rng rng(10);
+  Graph g = grid(4, 5, {}, rng);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_EQ(g.edge_count(), 4 * 4 + 3 * 5u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Barbell) {
+  util::Rng rng(11);
+  Graph g = barbell(5, 3, {}, rng);
+  EXPECT_EQ(g.node_count(), 2 * 5 + 2u);
+  EXPECT_EQ(g.edge_count(), 2 * 10 + 3u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, PreferentialAttachment) {
+  util::Rng rng(12);
+  Graph g = preferential_attachment(60, 3, {}, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.edge_count(), 3 + (60 - 4) * 3u);
+}
+
+TEST(Generators, GnpEdgeCountPlausible) {
+  util::Rng rng(13);
+  Graph g = gnp(50, 0.3, {}, rng);
+  const double expected = 0.3 * 50 * 49 / 2;
+  EXPECT_NEAR(static_cast<double>(g.edge_count()), expected, expected * 0.35);
+}
+
+TEST(Generators, HierarchicalComplete) {
+  util::Rng rng(30);
+  Graph g = hierarchical_complete(4, rng);  // n = 16
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 120u);
+  // Weight bands: crossing a higher-level boundary always costs more.
+  const auto weight_of = [&g](NodeId u, NodeId v) {
+    return g.edge(*g.find_edge(u, v)).weight;
+  };
+  EXPECT_LT(weight_of(0, 1), weight_of(0, 2));    // level 1 < level 2
+  EXPECT_LT(weight_of(0, 3), weight_of(0, 4));    // level 2 < level 3
+  EXPECT_LT(weight_of(0, 7), weight_of(0, 8));    // level 3 < level 4
+  EXPECT_LT(weight_of(14, 15), weight_of(0, 15));
+}
+
+TEST(Generators, GeometricRadiusOne) {
+  util::Rng rng(14);
+  Graph g = random_geometric(20, 1.5, {}, rng);  // everything connects
+  EXPECT_EQ(g.edge_count(), 190u);
+}
+
+// --- oracles -----------------------------------------------------------------
+
+struct OracleCase {
+  std::size_t n, m;
+  std::uint64_t seed;
+};
+
+class MsfOracles : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(MsfOracles, KruskalPrimBoruvkaAgree) {
+  const auto [n, m, seed] = GetParam();
+  util::Rng rng(seed);
+  Graph g = random_connected_gnm(n, m, {16}, rng);  // few weights: many ties
+  const auto k = kruskal_msf(g);
+  const auto p = prim_msf(g);
+  const auto b = boruvka_msf(g);
+  EXPECT_TRUE(same_edge_set(k, p));
+  EXPECT_TRUE(same_edge_set(k, b));
+  EXPECT_EQ(k.size(), n - 1);
+  EXPECT_TRUE(is_spanning_forest(g, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MsfOracles,
+    ::testing::Values(OracleCase{2, 1, 1}, OracleCase{5, 10, 2},
+                      OracleCase{16, 40, 3}, OracleCase{32, 200, 4},
+                      OracleCase{64, 64, 5}, OracleCase{64, 1000, 6},
+                      OracleCase{128, 2000, 7}, OracleCase{100, 4950, 8}));
+
+TEST(MsfOracles, DisconnectedGraph) {
+  util::Rng rng(15);
+  Graph g(6, rng);
+  g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  g.add_edge(3, 4, 3);
+  const auto k = kruskal_msf(g);
+  EXPECT_EQ(k.size(), 3u);
+  EXPECT_TRUE(same_edge_set(k, prim_msf(g)));
+  EXPECT_TRUE(same_edge_set(k, boruvka_msf(g)));
+  EXPECT_EQ(components(g).second, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(MsfOracles, MinCutEdge) {
+  util::Rng rng(16);
+  Graph g(4, rng);
+  const EdgeIdx a = g.add_edge(0, 1, 5);
+  g.add_edge(0, 2, 1);  // inside the side
+  const EdgeIdx c = g.add_edge(2, 3, 4);
+  std::vector<char> side{1, 0, 1, 0};
+  const auto cut = min_cut_edge(g, side);
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(*cut, c);
+  EXPECT_TRUE(cut_nonempty(g, side));
+  g.remove_edge(c);
+  g.remove_edge(a);
+  EXPECT_FALSE(min_cut_edge(g, side).has_value());
+  EXPECT_FALSE(cut_nonempty(g, side));
+}
+
+TEST(MsfOracles, PathMaxEdge) {
+  util::Rng rng(17);
+  Graph g(5, rng);
+  const EdgeIdx e01 = g.add_edge(0, 1, 2);
+  const EdgeIdx e12 = g.add_edge(1, 2, 9);
+  const EdgeIdx e23 = g.add_edge(2, 3, 4);
+  const std::vector<EdgeIdx> tree{e01, e12, e23};
+  auto res = path_max_edge(g, tree, 0, 3);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(*res, e12);
+  EXPECT_FALSE(path_max_edge(g, tree, 0, 4).has_value());  // disconnected
+  EXPECT_FALSE(path_max_edge(g, tree, 2, 2).has_value());  // trivial
+}
+
+// --- marked forest -----------------------------------------------------------
+
+TEST(MarkedForest, HalfMarksAndProperMarking) {
+  util::Rng rng(18);
+  Graph g(3, rng);
+  const EdgeIdx e = g.add_edge(0, 1, 1);
+  MarkedForest f(g);
+  EXPECT_TRUE(f.properly_marked());
+  f.mark_half(e, 0);
+  EXPECT_FALSE(f.is_marked(e));
+  EXPECT_FALSE(f.properly_marked());
+  f.mark_half(e, 1);
+  EXPECT_TRUE(f.is_marked(e));
+  EXPECT_TRUE(f.properly_marked());
+  f.unmark_half(e, 0);
+  EXPECT_FALSE(f.is_marked(e));
+  EXPECT_TRUE(f.half_marked(e, 1));
+}
+
+TEST(MarkedForest, ComponentsAndSpanning) {
+  util::Rng rng(19);
+  Graph g = random_connected_gnm(30, 80, {}, rng);
+  MarkedForest f(g);
+  EXPECT_EQ(f.components().second, 30u);
+  for (EdgeIdx e : kruskal_msf(g)) f.mark_edge(e);
+  EXPECT_EQ(f.components().second, 1u);
+  EXPECT_TRUE(f.is_forest());
+  EXPECT_TRUE(f.is_spanning_forest());
+  EXPECT_EQ(f.component_of(0).size(), 30u);
+}
+
+TEST(MarkedForest, DetectsCycle) {
+  util::Rng rng(20);
+  Graph g = ring(5, {}, rng);
+  MarkedForest f(g);
+  for (EdgeIdx e : g.alive_edge_indices()) f.mark_edge(e);
+  EXPECT_FALSE(f.is_forest());
+  EXPECT_FALSE(f.is_spanning_forest());
+}
+
+TEST(MarkedForest, DeadEdgeIsNeverMarked) {
+  util::Rng rng(21);
+  Graph g(2, rng);
+  const EdgeIdx e = g.add_edge(0, 1, 1);
+  MarkedForest f(g);
+  f.mark_edge(e);
+  EXPECT_TRUE(f.is_marked(e));
+  g.remove_edge(e);
+  EXPECT_FALSE(f.is_marked(e));
+}
+
+TEST(TreeView, EpochFiltering) {
+  util::Rng rng(22);
+  Graph g(4, rng);
+  const EdgeIdx e1 = g.add_edge(0, 1, 1);
+  const EdgeIdx e2 = g.add_edge(1, 2, 2);
+  const EdgeIdx e3 = g.add_edge(2, 3, 3);
+  MarkedForest f(g);
+  f.mark_edge(e1, /*epoch=*/1);
+  f.mark_edge(e2, /*epoch=*/2);
+  f.mark_edge(e3, /*epoch=*/3);
+
+  const TreeView at2(f, 2);
+  EXPECT_TRUE(at2.contains(e1));
+  EXPECT_TRUE(at2.contains(e2));
+  EXPECT_FALSE(at2.contains(e3));
+  EXPECT_EQ(at2.degree(1), 2u);
+  EXPECT_EQ(at2.degree(2), 1u);
+  EXPECT_EQ(at2.neighbors(2).size(), 1u);
+
+  const TreeView all(f);
+  EXPECT_EQ(all.degree(2), 2u);
+  EXPECT_TRUE(f.is_marked_at(e1, 1));
+  EXPECT_FALSE(f.is_marked_at(e3, 2));
+}
+
+TEST(MarkedForest, MarkedIncidentAndDegree) {
+  util::Rng rng(23);
+  Graph g(3, rng);
+  const EdgeIdx e1 = g.add_edge(0, 1, 1);
+  g.add_edge(1, 2, 2);
+  MarkedForest f(g);
+  f.mark_edge(e1);
+  EXPECT_EQ(f.marked_degree(1), 1u);
+  EXPECT_EQ(f.marked_incident(1).size(), 1u);
+  EXPECT_EQ(f.marked_incident(1)[0].peer, 0u);
+  EXPECT_EQ(f.marked_edges(), std::vector<EdgeIdx>{e1});
+}
+
+}  // namespace
+}  // namespace kkt::graph

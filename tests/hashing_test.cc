@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "hashing/karp_rabin.h"
+#include "hashing/odd_hash.h"
+#include "hashing/pairwise_hash.h"
+#include "hashing/set_equality.h"
+#include "util/rng.h"
+
+namespace kkt::hashing {
+namespace {
+
+TEST(OddHash, DeterministicAndSerializable) {
+  util::Rng rng(1);
+  const OddHash h = OddHash::random(rng);
+  const OddHash h2(h.multiplier(), h.threshold());
+  EXPECT_EQ(h, h2);
+  for (std::uint64_t x : {0ull, 1ull, 42ull, ~0ull}) EXPECT_EQ(h(x), h2(x));
+  EXPECT_EQ(h.multiplier() & 1, 1u) << "multiplier must be odd";
+}
+
+TEST(OddHash, EmptySetParityIsZero) {
+  util::Rng rng(2);
+  const std::vector<std::uint64_t> empty;
+  for (int i = 0; i < 50; ++i) {
+    const OddHash h = OddHash::random(rng);
+    EXPECT_FALSE(h.parity(empty.begin(), empty.end()));
+  }
+}
+
+// The family is (1/8)-odd: for any fixed non-empty set, a random member
+// yields odd parity with probability >= 1/8 (empirically ~1/3 or better).
+class OddHashOddness : public ::testing::TestWithParam<int> {};
+
+TEST_P(OddHashOddness, OddParityAtLeastEighth) {
+  const int set_size = GetParam();
+  util::Rng rng(100 + set_size);
+  std::set<std::uint64_t> keys;
+  while (static_cast<int>(keys.size()) < set_size) {
+    keys.insert(1 + rng.below((1ull << 62) - 1));
+  }
+  const std::vector<std::uint64_t> set(keys.begin(), keys.end());
+  constexpr int kTrials = 4000;
+  int odd = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const OddHash h = OddHash::random(rng);
+    odd += h.parity(set.begin(), set.end());
+  }
+  // 1/8 - 4 sigma slack.
+  const double p = static_cast<double>(odd) / kTrials;
+  EXPECT_GE(p, 0.125 - 4 * std::sqrt(0.125 * 0.875 / kTrials))
+      << "set size " << set_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(SetSizes, OddHashOddness,
+                         ::testing::Values(1, 2, 3, 5, 17, 64, 1000));
+
+TEST(OddHash, SingletonDetectionIsStrong) {
+  // For |S| = 1 the probability of odd parity is Pr[h(x) = 1] ~ 1/2.
+  util::Rng rng(3);
+  const std::vector<std::uint64_t> set{123456789};
+  int odd = 0;
+  constexpr int kTrials = 4000;
+  for (int t = 0; t < kTrials; ++t) {
+    odd += OddHash::random(rng).parity(set.begin(), set.end());
+  }
+  EXPECT_NEAR(static_cast<double>(odd) / kTrials, 0.5, 0.05);
+}
+
+TEST(PairwiseHash, StaysInRange) {
+  util::Rng rng(4);
+  for (int bits : {1, 2, 8, 20, 40}) {
+    const PairwiseHash h = PairwiseHash::random(rng, bits);
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(h(rng.next() >> 2), h.range());
+    }
+  }
+}
+
+TEST(PairwiseHash, SerializationRoundTrip) {
+  util::Rng rng(5);
+  const PairwiseHash h = PairwiseHash::random(rng, 16);
+  const PairwiseHash h2(h.a(), h.b(), h.range_bits());
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t x = rng.next() >> 1;
+    EXPECT_EQ(h(x), h2(x));
+  }
+}
+
+TEST(PairwiseHash, RoughlyUniform) {
+  util::Rng rng(6);
+  const PairwiseHash h = PairwiseHash::random(rng, 3);  // 8 buckets
+  int counts[8] = {};
+  constexpr int kSamples = 40000;
+  for (int i = 0; i < kSamples; ++i) ++counts[h(i + 1)];
+  for (int c : counts) EXPECT_NEAR(c, kSamples / 8, kSamples / 8 * 0.4);
+}
+
+TEST(PairwiseHash, PairsNearlyIndependent) {
+  // Collision probability of two fixed keys over random h should be ~1/r.
+  util::Rng rng(7);
+  constexpr int kTrials = 30000;
+  int collisions = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    const PairwiseHash h = PairwiseHash::random(rng, 4);  // r = 16
+    collisions += h(1001) == h(2002);
+  }
+  EXPECT_NEAR(static_cast<double>(collisions) / kTrials, 1.0 / 16, 0.01);
+}
+
+TEST(SetPolynomial, EqualMultisetsAlwaysEqual) {
+  util::Rng rng(8);
+  for (int t = 0; t < 50; ++t) {
+    std::vector<std::uint64_t> a;
+    for (int i = 0; i < 20; ++i) a.push_back(rng.below(1ull << 62));
+    std::vector<std::uint64_t> b = a;
+    // Shuffle b.
+    for (std::size_t i = b.size(); i > 1; --i) {
+      std::swap(b[i - 1], b[rng.below(i)]);
+    }
+    const SetPolynomial poly = SetPolynomial::random(rng);
+    EXPECT_EQ(poly.evaluate(a), poly.evaluate(b));
+  }
+}
+
+TEST(SetPolynomial, DifferentMultisetsAlmostNeverCollide) {
+  util::Rng rng(9);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<std::uint64_t> a, b;
+    for (int i = 0; i < 10; ++i) {
+      a.push_back(rng.below(1ull << 62));
+      b.push_back(rng.below(1ull << 62));
+    }
+    const SetPolynomial poly = SetPolynomial::random(rng);
+    // Collision probability is ~10/2^63 per trial; a single hit would mean
+    // something is broken.
+    EXPECT_NE(poly.evaluate(a), poly.evaluate(b));
+  }
+}
+
+TEST(SetPolynomial, MultiplicityMatters) {
+  util::Rng rng(10);
+  const std::vector<std::uint64_t> once{42};
+  const std::vector<std::uint64_t> twice{42, 42};
+  const SetPolynomial poly = SetPolynomial::random(rng);
+  EXPECT_NE(poly.evaluate(once), poly.evaluate(twice));
+}
+
+TEST(SetPolynomial, CombineMatchesFlatEvaluation) {
+  util::Rng rng(11);
+  const SetPolynomial poly = SetPolynomial::random(rng);
+  std::vector<std::uint64_t> all, part1, part2;
+  for (int i = 0; i < 30; ++i) {
+    const std::uint64_t e = rng.below(1ull << 62);
+    all.push_back(e);
+    (i % 2 ? part1 : part2).push_back(e);
+  }
+  EXPECT_EQ(poly.evaluate(all),
+            poly.combine(poly.evaluate(part1), poly.evaluate(part2)));
+  EXPECT_EQ(poly.combine(poly.evaluate(all), poly.identity()),
+            poly.evaluate(all));
+}
+
+TEST(SetEquality, ErrorBound) {
+  EXPECT_LT(set_equality_error_bound(1u << 20, util::kPrimeBelow63), 1e-12);
+}
+
+TEST(KarpRabin, DistinctIdsStayDistinct) {
+  util::Rng rng(12);
+  for (int t = 0; t < 10; ++t) {
+    const KarpRabinFingerprinter kr(1000, 2, rng);
+    std::vector<std::uint64_t> fps;
+    std::set<util::u128> ids;
+    while (ids.size() < 1000) {
+      // 128-bit ("exponential space") identities.
+      ids.insert(util::make_u128(rng.next(), rng.next()));
+    }
+    for (util::u128 id : ids) fps.push_back(kr.fingerprint(id));
+    EXPECT_TRUE(KarpRabinFingerprinter::all_distinct(fps));
+  }
+}
+
+TEST(KarpRabin, FingerprintBelowModulus) {
+  util::Rng rng(13);
+  const KarpRabinFingerprinter kr(100, 2, rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(kr.fingerprint(util::make_u128(rng.next(), rng.next())),
+              kr.modulus());
+  }
+}
+
+TEST(KarpRabin, DetectsCollisions) {
+  std::vector<std::uint64_t> fps{1, 2, 3, 2};
+  EXPECT_FALSE(KarpRabinFingerprinter::all_distinct(fps));
+  fps = {1, 2, 3, 4};
+  EXPECT_TRUE(KarpRabinFingerprinter::all_distinct(fps));
+}
+
+}  // namespace
+}  // namespace kkt::hashing

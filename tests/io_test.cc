@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/mst_oracle.h"
+#include "util/rng.h"
+
+namespace kkt::graph {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesEverything) {
+  util::Rng rng(1);
+  const Graph g = random_connected_gnm(20, 60, {1u << 16}, rng);
+  std::stringstream ss;
+  write_graph(ss, g);
+  std::string err;
+  const auto back = read_graph(ss, rng, &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->node_count(), g.node_count());
+  EXPECT_EQ(back->edge_count(), g.edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(back->ext_id(v), g.ext_id(v));
+  }
+  for (EdgeIdx e : g.alive_edge_indices()) {
+    const auto found = back->find_edge(g.edge(e).u, g.edge(e).v);
+    ASSERT_TRUE(found.has_value());
+    EXPECT_EQ(back->edge(*found).weight, g.edge(e).weight);
+    EXPECT_EQ(back->aug_weight(*found), g.aug_weight(e));
+  }
+  // MSTs agree, which exercises edge numbers and augmented weights.
+  EXPECT_EQ(kruskal_msf(*back).size(), kruskal_msf(g).size());
+}
+
+TEST(GraphIo, DeadEdgesAreNotSerialized) {
+  util::Rng rng(2);
+  Graph g(4, rng);
+  g.add_edge(0, 1, 5);
+  const EdgeIdx dead = g.add_edge(1, 2, 7);
+  g.remove_edge(dead);
+  std::stringstream ss;
+  write_graph(ss, g);
+  const auto back = read_graph(ss, rng);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->edge_count(), 1u);
+}
+
+TEST(GraphIo, AcceptsMinimalFileWithoutIds) {
+  std::stringstream ss("p 3 2\ne 0 1 10\ne 1 2 20\n");
+  util::Rng rng(3);
+  const auto g = read_graph(ss, rng);
+  ASSERT_TRUE(g.has_value());
+  EXPECT_EQ(g->node_count(), 3u);
+  EXPECT_EQ(g->edge_count(), 2u);
+  EXPECT_NE(g->ext_id(0), g->ext_id(1));  // random IDs drawn
+}
+
+TEST(GraphIo, CommentsAndBlankLinesIgnored) {
+  std::stringstream ss("# hello\n\np 2 1\n# mid\ne 0 1 3\n");
+  util::Rng rng(4);
+  EXPECT_TRUE(read_graph(ss, rng).has_value());
+}
+
+struct BadCase {
+  const char* text;
+  const char* why;
+};
+
+class GraphIoRejects : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(GraphIoRejects, MalformedInput) {
+  std::stringstream ss(GetParam().text);
+  util::Rng rng(5);
+  std::string err;
+  EXPECT_FALSE(read_graph(ss, rng, &err).has_value()) << GetParam().why;
+  EXPECT_FALSE(err.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, GraphIoRejects,
+    ::testing::Values(
+        BadCase{"e 0 1 3\n", "edge before header"},
+        BadCase{"p 2 1\n", "missing edges"},
+        BadCase{"p 2 1\ne 0 1 3\ne 0 1 4\n", "count mismatch + duplicate"},
+        BadCase{"p 2 2\ne 0 1 3\ne 1 0 4\n", "duplicate edge"},
+        BadCase{"p 2 1\ne 0 0 3\n", "self loop"},
+        BadCase{"p 2 1\ne 0 5 3\n", "node out of range"},
+        BadCase{"p 2 1\ne 0 1 0\n", "zero weight"},
+        BadCase{"p 0 0\n", "zero nodes"},
+        BadCase{"p 2 1\np 2 1\ne 0 1 1\n", "duplicate header"},
+        BadCase{"p 2 1\nq 1 2 3\n", "unknown record"},
+        BadCase{"p 2 1\ni 0 0\ne 0 1 1\n", "zero ext id"}));
+
+}  // namespace
+}  // namespace kkt::graph

@@ -1,0 +1,308 @@
+#include <gtest/gtest.h>
+
+#include "core/build_mst.h"
+#include "core/repair.h"
+#include "graph/mst_oracle.h"
+#include "test_util.h"
+
+namespace kkt::core {
+namespace {
+
+using graph::EdgeIdx;
+using graph::NodeId;
+using graph::Weight;
+using test::make_gnm_world;
+using test::World;
+
+// The maintained forest must equal the (unique) minimum spanning forest of
+// the current graph.
+void expect_is_msf(const World& w) {
+  EXPECT_TRUE(w.forest->properly_marked());
+  EXPECT_TRUE(
+      graph::same_edge_set(w.forest->marked_edges(), graph::kruskal_msf(*w.g)));
+}
+
+World make_repair_world(std::size_t n, std::size_t m, std::uint64_t seed) {
+  World w = make_gnm_world(n, m, seed, test::NetKind::kAsync);
+  test::mark_msf(w);
+  return w;
+}
+
+TEST(DeleteEdge, NonTreeEdgeCostsNothing) {
+  World w = make_repair_world(20, 80, 1);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  // Find a non-tree edge.
+  EdgeIdx victim = graph::kNoEdge;
+  for (EdgeIdx e : w.g->alive_edge_indices()) {
+    if (!w.forest->is_marked(e)) {
+      victim = e;
+      break;
+    }
+  }
+  ASSERT_NE(victim, graph::kNoEdge);
+  const RepairOutcome out = dyn.delete_edge(victim);
+  EXPECT_EQ(out.action, RepairAction::kNone);
+  EXPECT_EQ(out.messages, 0u);
+  expect_is_msf(w);
+}
+
+TEST(DeleteEdge, TreeEdgeGetsReplaced) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    World w = make_repair_world(24, 120, seed);
+    DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+    const auto tree = w.forest->marked_edges();
+    const EdgeIdx victim = tree[seed % tree.size()];
+    const RepairOutcome out = dyn.delete_edge(victim);
+    EXPECT_EQ(out.action, RepairAction::kReplaced);
+    ASSERT_TRUE(out.edge.has_value());
+    EXPECT_GT(out.messages, 0u);
+    expect_is_msf(w);
+  }
+}
+
+TEST(DeleteEdge, BridgeIsRecognized) {
+  // A path graph: every edge is a bridge.
+  util::Rng rng(9);
+  auto g = std::make_unique<graph::Graph>(6, rng);
+  std::vector<EdgeIdx> edges;
+  for (NodeId v = 0; v + 1 < 6; ++v) edges.push_back(g->add_edge(v, v + 1, v + 1));
+  World w = test::make_world(std::move(g), 9, test::NetKind::kAsync);
+  test::mark_msf(w);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  const RepairOutcome out = dyn.delete_edge(edges[2]);
+  EXPECT_EQ(out.action, RepairAction::kBridge);
+  expect_is_msf(w);  // now a two-tree forest
+}
+
+TEST(InsertEdge, MergesTwoTrees) {
+  util::Rng rng(10);
+  auto g = std::make_unique<graph::Graph>(6, rng);
+  g->add_edge(0, 1, 1);
+  g->add_edge(1, 2, 2);
+  g->add_edge(3, 4, 3);
+  World w = test::make_world(std::move(g), 10, test::NetKind::kAsync);
+  test::mark_msf(w);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  const RepairOutcome out = dyn.insert_edge(2, 3, 7);
+  EXPECT_EQ(out.action, RepairAction::kMergedTrees);
+  expect_is_msf(w);
+}
+
+TEST(InsertEdge, SwapsOutHeaviestPathEdge) {
+  util::Rng rng(11);
+  auto g = std::make_unique<graph::Graph>(4, rng);
+  g->add_edge(0, 1, 10);
+  const EdgeIdx heavy = g->add_edge(1, 2, 100);
+  g->add_edge(2, 3, 10);
+  World w = test::make_world(std::move(g), 11, test::NetKind::kAsync);
+  test::mark_msf(w);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  EdgeIdx fresh = graph::kNoEdge;
+  const RepairOutcome out = dyn.insert_edge(0, 3, 20, &fresh);
+  EXPECT_EQ(out.action, RepairAction::kSwapped);
+  ASSERT_TRUE(out.edge.has_value());
+  EXPECT_EQ(*out.edge, w.g->edge_num(heavy));
+  EXPECT_TRUE(w.forest->is_marked(fresh));
+  EXPECT_FALSE(w.forest->is_marked(heavy));
+  expect_is_msf(w);
+}
+
+TEST(InsertEdge, HeavyEdgeIsRejected) {
+  util::Rng rng(12);
+  auto g = std::make_unique<graph::Graph>(4, rng);
+  g->add_edge(0, 1, 1);
+  g->add_edge(1, 2, 2);
+  g->add_edge(2, 3, 3);
+  World w = test::make_world(std::move(g), 12, test::NetKind::kAsync);
+  test::mark_msf(w);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  EdgeIdx fresh = graph::kNoEdge;
+  const RepairOutcome out = dyn.insert_edge(0, 3, 50, &fresh);
+  EXPECT_EQ(out.action, RepairAction::kRejected);
+  EXPECT_FALSE(w.forest->is_marked(fresh));
+  expect_is_msf(w);
+}
+
+TEST(ChangeWeight, AllFourQuadrants) {
+  util::Rng rng(13);
+  auto g = std::make_unique<graph::Graph>(3, rng);
+  const EdgeIdx e01 = g->add_edge(0, 1, 10);
+  const EdgeIdx e12 = g->add_edge(1, 2, 20);
+  const EdgeIdx e02 = g->add_edge(0, 2, 30);  // non-tree
+  World w = test::make_world(std::move(g), 13, test::NetKind::kAsync);
+  test::mark_msf(w);
+  ASSERT_TRUE(w.forest->is_marked(e01));
+  ASSERT_FALSE(w.forest->is_marked(e02));
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+
+  // Tree edge gets lighter: nothing to do.
+  EXPECT_EQ(dyn.change_weight(e01, 5).action, RepairAction::kNone);
+  expect_is_msf(w);
+  // Non-tree edge gets heavier: nothing to do.
+  EXPECT_EQ(dyn.change_weight(e02, 40).action, RepairAction::kNone);
+  expect_is_msf(w);
+  // Non-tree edge gets lighter than the heaviest path edge: swap in.
+  const RepairOutcome sw = dyn.change_weight(e02, 15);
+  EXPECT_EQ(sw.action, RepairAction::kSwapped);
+  EXPECT_TRUE(w.forest->is_marked(e02));
+  EXPECT_FALSE(w.forest->is_marked(e12));
+  expect_is_msf(w);
+  // Tree edge gets heavier: repaired like a deletion (e02 now in tree).
+  const RepairOutcome rep = dyn.change_weight(e01, 100);
+  EXPECT_EQ(rep.action, RepairAction::kReplaced);
+  expect_is_msf(w);
+}
+
+TEST(ChangeWeight, IncreaseMayKeepSameEdge) {
+  // Heavier tree edge that is still the best cut edge: FindMin returns the
+  // edge itself and re-marks it.
+  util::Rng rng(14);
+  auto g = std::make_unique<graph::Graph>(3, rng);
+  const EdgeIdx e01 = g->add_edge(0, 1, 10);
+  g->add_edge(1, 2, 20);
+  World w = test::make_world(std::move(g), 14, test::NetKind::kAsync);
+  test::mark_msf(w);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  const RepairOutcome out = dyn.change_weight(e01, 15);
+  EXPECT_EQ(out.action, RepairAction::kReplaced);
+  EXPECT_TRUE(w.forest->is_marked(e01));
+  expect_is_msf(w);
+}
+
+TEST(ChangeWeight, StIgnoresWeights) {
+  World w = make_repair_world(12, 40, 15);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kSt);
+  const auto edges = w.g->alive_edge_indices();
+  EXPECT_EQ(dyn.change_weight(edges[0], 999).action, RepairAction::kNone);
+  EXPECT_EQ(dyn.change_weight(edges[1], 1).action, RepairAction::kNone);
+}
+
+class MstChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MstChurnSweep, RandomUpdateStreamKeepsExactMsf) {
+  const std::uint64_t seed = GetParam();
+  World w = make_repair_world(20, 60, seed);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  util::Rng rng(seed * 977);
+
+  for (int step = 0; step < 60; ++step) {
+    const int op = static_cast<int>(rng.below(3));
+    if (op == 0 && w.g->edge_count() > 5) {
+      const auto alive = w.g->alive_edge_indices();
+      dyn.delete_edge(alive[rng.below(alive.size())]);
+    } else if (op == 1) {
+      const auto u = static_cast<NodeId>(rng.below(w.g->node_count()));
+      const auto v = static_cast<NodeId>(rng.below(w.g->node_count()));
+      if (u != v && !w.g->find_edge(u, v)) {
+        dyn.insert_edge(u, v, static_cast<Weight>(1 + rng.below(1u << 20)));
+      }
+    } else if (w.g->edge_count() > 0) {
+      const auto alive = w.g->alive_edge_indices();
+      dyn.change_weight(alive[rng.below(alive.size())],
+                        static_cast<Weight>(1 + rng.below(1u << 20)));
+    }
+    expect_is_msf(w);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MstChurnSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+class StChurnSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StChurnSweep, RandomUpdateStreamKeepsSpanningForest) {
+  const std::uint64_t seed = GetParam();
+  World w = make_repair_world(24, 70, seed + 100);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kSt);
+  util::Rng rng(seed * 1009);
+
+  for (int step = 0; step < 60; ++step) {
+    if (rng.coin() && w.g->edge_count() > 5) {
+      const auto alive = w.g->alive_edge_indices();
+      dyn.delete_edge(alive[rng.below(alive.size())]);
+    } else {
+      const auto u = static_cast<NodeId>(rng.below(w.g->node_count()));
+      const auto v = static_cast<NodeId>(rng.below(w.g->node_count()));
+      if (u != v && !w.g->find_edge(u, v)) {
+        dyn.insert_edge(u, v, 1);
+      }
+    }
+    EXPECT_TRUE(w.forest->properly_marked());
+    EXPECT_TRUE(w.forest->is_spanning_forest());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StChurnSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Repair, StDeleteIsCheaperThanMstDelete) {
+  // Theorem 1.2: O(n) (FindAny) vs O(n log n / log log n) (FindMin).
+  std::uint64_t st_msgs = 0, mst_msgs = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    {
+      World w = make_repair_world(48, 400, seed);
+      DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kSt);
+      const auto tree = w.forest->marked_edges();
+      st_msgs += dyn.delete_edge(tree[seed % tree.size()]).messages;
+    }
+    {
+      World w = make_repair_world(48, 400, seed);
+      DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+      const auto tree = w.forest->marked_edges();
+      mst_msgs += dyn.delete_edge(tree[seed % tree.size()]).messages;
+    }
+  }
+  EXPECT_LT(st_msgs, mst_msgs);
+}
+
+TEST(Repair, DeleteCostIndependentOfDensity) {
+  // The o(m) point for repair: deleting a tree edge costs ~ the same number
+  // of messages on a sparse and on a dense graph of equal n.
+  std::uint64_t sparse = 0, dense = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    {
+      World w = make_repair_world(40, 60, seed);
+      DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+      const auto tree = w.forest->marked_edges();
+      sparse += dyn.delete_edge(tree[seed % tree.size()]).messages;
+    }
+    {
+      World w = make_repair_world(40, 780, seed);  // complete
+      DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+      const auto tree = w.forest->marked_edges();
+      dense += dyn.delete_edge(tree[seed % tree.size()]).messages;
+    }
+  }
+  // Within a factor of ~4 of each other despite a 13x density gap.
+  EXPECT_LT(dense, sparse * 4);
+  EXPECT_LT(sparse, dense * 4);
+}
+
+TEST(Repair, OutcomeReportsCosts) {
+  World w = make_repair_world(16, 50, 33);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  const auto tree = w.forest->marked_edges();
+  const RepairOutcome out = dyn.delete_edge(tree[0]);
+  EXPECT_EQ(out.messages,
+            w.net->metrics().messages);  // first op: delta == total
+  EXPECT_GT(out.broadcast_echoes, 0u);
+  EXPECT_GT(out.rounds, 0u);
+}
+
+TEST(Repair, WorksAfterDistributedBuild) {
+  // End-to-end: build with the paper's algorithm, then repair with the
+  // paper's algorithm; compare against the oracle throughout.
+  World w = make_gnm_world(32, 150, 44);  // sync for build
+  build_mst(*w.net, *w.forest);
+  expect_is_msf(w);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  util::Rng rng(44);
+  for (int step = 0; step < 20; ++step) {
+    const auto tree = w.forest->marked_edges();
+    dyn.delete_edge(tree[rng.below(tree.size())]);
+    expect_is_msf(w);
+  }
+}
+
+}  // namespace
+}  // namespace kkt::core

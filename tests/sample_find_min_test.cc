@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "core/find_min.h"
+#include "core/sample_find_min.h"
+#include "graph/mst_oracle.h"
+#include "test_util.h"
+
+namespace kkt::core {
+namespace {
+
+using graph::EdgeIdx;
+using graph::NodeId;
+using test::World;
+
+struct CutWorld {
+  World w;
+  NodeId root;
+  std::optional<EdgeIdx> lightest;
+};
+
+CutWorld make_cut_world(std::size_t n, std::size_t m, std::uint64_t seed,
+                        graph::Weight max_weight, std::size_t cut_index = 0) {
+  util::Rng rng(seed);
+  auto g = std::make_unique<graph::Graph>(
+      graph::random_connected_gnm(n, m, {max_weight}, rng));
+  CutWorld cw{test::make_world(std::move(g), seed ^ 0xabc), 0, std::nullopt};
+  const auto msf = test::mark_msf(cw.w);
+  const EdgeIdx split = msf[cut_index % msf.size()];
+  cw.w.forest->clear_edge(split);
+  cw.root = cw.w.g->edge(split).u;
+  cw.lightest =
+      graph::min_cut_edge(*cw.w.g, test::side_of(cw.w, cw.root));
+  return cw;
+}
+
+struct WideCase {
+  std::size_t n, m;
+  std::uint64_t seed;
+  graph::Weight max_weight;
+};
+
+class SampleFindMinSweep : public ::testing::TestWithParam<WideCase> {};
+
+TEST_P(SampleFindMinSweep, ReturnsTheLightestCutEdge) {
+  const auto [n, m, seed, maxw] = GetParam();
+  for (std::size_t cut = 0; cut < 3; ++cut) {
+    CutWorld cw = make_cut_world(n, m, seed + cut, maxw, 3 * cut);
+    proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+    const FindMinResult res = sample_find_min(ops, cw.root);
+    ASSERT_TRUE(cw.lightest.has_value());
+    ASSERT_TRUE(res.found) << "n=" << n << " seed=" << seed + cut;
+    EXPECT_EQ(res.edge_num, cw.w.g->edge_num(*cw.lightest));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SampleFindMinSweep,
+    ::testing::Values(
+        // Small weights (degenerate chunks) through full 63-bit weights.
+        WideCase{8, 20, 1, 4}, WideCase{16, 60, 2, 1u << 10},
+        WideCase{16, 60, 3, 1u << 20},
+        WideCase{32, 150, 4, graph::Weight{1} << 40},
+        WideCase{32, 150, 5, graph::Weight{1} << 62},
+        WideCase{64, 500, 6, graph::Weight{1} << 48}));
+
+TEST(SampleFindMin, EmptyCutReturnsEmpty) {
+  World w = test::make_gnm_world(20, 60, 10);
+  test::mark_msf(w);
+  proto::TreeOps ops(*w.net, graph::TreeView(*w.forest));
+  EXPECT_FALSE(sample_find_min(ops, 0).found);
+}
+
+TEST(SampleFindMin, IsolatedNode) {
+  util::Rng rng(11);
+  auto g = std::make_unique<graph::Graph>(3, rng);
+  g->add_edge(0, 1, 5);
+  World w = test::make_world(std::move(g), 11);
+  proto::TreeOps ops(*w.net, graph::TreeView(*w.forest));
+  EXPECT_FALSE(sample_find_min(ops, 2).found);
+}
+
+TEST(SampleFindMin, EqualWeightsDistinguishedByEdgeNumber) {
+  // All raw weights identical: the search must resolve the full augmented
+  // weight down to the edge-number chunks.
+  util::Rng rng(12);
+  auto g = std::make_unique<graph::Graph>(
+      graph::random_connected_gnm(24, 100, {1}, rng));
+  World w = test::make_world(std::move(g), 12);
+  const auto msf = test::mark_msf(w);
+  w.forest->clear_edge(msf[2]);
+  const NodeId root = w.g->edge(msf[2]).u;
+  const auto lightest =
+      graph::min_cut_edge(*w.g, test::side_of(w, root));
+  proto::TreeOps ops(*w.net, graph::TreeView(*w.forest));
+  const FindMinResult res = sample_find_min(ops, root);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.edge_num, w.g->edge_num(*lightest));
+}
+
+TEST(SampleFindMin, WorksOnAsyncNetwork) {
+  CutWorld cw = make_cut_world(24, 100, 13, graph::Weight{1} << 30, 1);
+  // Rebuild as async world.
+  util::Rng rng(13);
+  auto g = std::make_unique<graph::Graph>(graph::random_connected_gnm(
+      24, 100, {graph::Weight{1} << 30}, rng));
+  World w = test::make_world(std::move(g), 77, test::NetKind::kAsync);
+  const auto msf = test::mark_msf(w);
+  w.forest->clear_edge(msf[3]);
+  const NodeId root = w.g->edge(msf[3]).u;
+  const auto lightest =
+      graph::min_cut_edge(*w.g, test::side_of(w, root));
+  proto::TreeOps ops(*w.net, graph::TreeView(*w.forest));
+  const FindMinResult res = sample_find_min(ops, root);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.edge_num, w.g->edge_num(*lightest));
+}
+
+TEST(SampleFindMin, RespectsMessageBudget) {
+  CutWorld cw = make_cut_world(32, 200, 14, graph::Weight{1} << 50);
+  proto::TreeOps ops(*cw.w.net, graph::TreeView(*cw.w.forest));
+  sample_find_min(ops, cw.root);
+  EXPECT_EQ(cw.w.net->metrics().oversized_messages, 0u);
+}
+
+TEST(SampleFindMin, SingletonTreePicksLocalMin) {
+  World w = test::make_gnm_world(10, 30, 15);
+  proto::TreeOps ops(*w.net, graph::TreeView(*w.forest));
+  for (NodeId v = 0; v < 5; ++v) {
+    std::vector<char> side(10, 0);
+    side[v] = 1;
+    const auto oracle = graph::min_cut_edge(*w.g, side);
+    const FindMinResult res = sample_find_min(ops, v);
+    ASSERT_TRUE(res.found);
+    EXPECT_EQ(res.edge_num, w.g->edge_num(*oracle));
+  }
+}
+
+}  // namespace
+}  // namespace kkt::core

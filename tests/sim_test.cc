@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "sim/async_network.h"
+#include "sim/sync_network.h"
+#include "test_util.h"
+
+namespace kkt::sim {
+namespace {
+
+using graph::NodeId;
+
+// Ping-pong: node A sends `hops` messages back and forth with node B.
+class PingPong final : public Protocol {
+ public:
+  PingPong(NodeId a, NodeId b, int hops) : a_(a), b_(b), hops_(hops) {}
+
+  void on_start(Network& net, NodeId self) override {
+    if (hops_ > 0) net.send(self, self == a_ ? b_ : a_, Message(Tag::kNone));
+  }
+
+  void on_message(Network& net, NodeId self, NodeId from,
+                  const Message&) override {
+    ++received_;
+    if (received_ < hops_) net.send(self, from, Message(Tag::kNone));
+  }
+
+  int received() const { return received_; }
+
+ private:
+  NodeId a_, b_;
+  int hops_;
+  int received_ = 0;
+};
+
+std::unique_ptr<graph::Graph> path_graph(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto g = std::make_unique<graph::Graph>(n, rng);
+  for (NodeId v = 0; v + 1 < n; ++v) g->add_edge(v, v + 1, 1);
+  return g;
+}
+
+TEST(SyncNetwork, CountsMessagesAndRounds) {
+  auto g = path_graph(2, 1);
+  SyncNetwork net(*g, 7);
+  PingPong proto(0, 1, 5);
+  const NodeId participants[] = {0};
+  const std::uint64_t rounds = net.run(proto, participants);
+  EXPECT_EQ(proto.received(), 5);
+  EXPECT_EQ(net.metrics().messages, 5u);
+  EXPECT_EQ(rounds, 5u);  // one hop per round
+  EXPECT_EQ(net.metrics().rounds, 5u);
+}
+
+TEST(SyncNetwork, MessageBitsAccounted) {
+  auto g = path_graph(2, 2);
+  SyncNetwork net(*g, 7);
+
+  class OneShot final : public Protocol {
+   public:
+    void on_start(Network& net, NodeId self) override {
+      net.send(self, 1, Message(Tag::kNone, {1, 2, 3}));
+    }
+    void on_message(Network&, NodeId, NodeId, const Message&) override {}
+  } proto;
+
+  const NodeId participants[] = {0};
+  net.run(proto, participants);
+  EXPECT_EQ(net.metrics().messages, 1u);
+  EXPECT_EQ(net.metrics().message_bits, 16 + 3 * 64u);
+}
+
+TEST(SyncNetwork, SequentialRunsAccumulate) {
+  auto g = path_graph(2, 3);
+  SyncNetwork net(*g, 7);
+  const NodeId participants[] = {0};
+  for (int i = 0; i < 3; ++i) {
+    PingPong proto(0, 1, 2);
+    net.run(proto, participants);
+  }
+  EXPECT_EQ(net.metrics().messages, 6u);
+  EXPECT_EQ(net.metrics().rounds, 6u);
+}
+
+TEST(AsyncNetwork, DeliversEverythingEventually) {
+  auto g = path_graph(2, 4);
+  AsyncNetwork net(*g, 99);
+  PingPong proto(0, 1, 50);
+  const NodeId participants[] = {0};
+  net.run(proto, participants);
+  EXPECT_EQ(proto.received(), 50);
+  EXPECT_EQ(net.metrics().messages, 50u);
+  EXPECT_GT(net.metrics().rounds, 0u);
+}
+
+TEST(AsyncNetwork, DeterministicGivenSeed) {
+  auto g = path_graph(2, 5);
+  std::uint64_t rounds[2];
+  for (int i = 0; i < 2; ++i) {
+    AsyncNetwork net(*g, 1234);
+    PingPong proto(0, 1, 20);
+    const NodeId participants[] = {0};
+    rounds[i] = net.run(proto, participants);
+  }
+  EXPECT_EQ(rounds[0], rounds[1]);
+}
+
+TEST(AsyncNetwork, DifferentSeedsDifferentSchedules) {
+  auto g = path_graph(2, 6);
+  std::uint64_t totals[2];
+  for (int i = 0; i < 2; ++i) {
+    AsyncNetwork net(*g, 1000 + i);
+    PingPong proto(0, 1, 40);
+    const NodeId participants[] = {0};
+    totals[i] = net.run(proto, participants);
+  }
+  EXPECT_NE(totals[0], totals[1]);
+}
+
+TEST(ParallelPhase, RoundsAreMaxOverBranches) {
+  auto g = path_graph(3, 7);
+  SyncNetwork net(*g, 7);
+  ParallelPhase phase(net);
+
+  const NodeId participants0[] = {0};
+  phase.begin_branch();
+  {
+    PingPong proto(0, 1, 3);
+    net.run(proto, participants0);
+  }
+  phase.end_branch();
+
+  phase.begin_branch();
+  {
+    PingPong proto(1, 2, 7);
+    const NodeId participants1[] = {1};
+    net.run(proto, participants1);
+  }
+  phase.end_branch();
+  phase.finish();
+
+  EXPECT_EQ(net.metrics().messages, 10u);       // messages sum
+  EXPECT_EQ(net.metrics().rounds, 7u);          // time is the max branch
+  EXPECT_EQ(phase.max_branch_rounds(), 7u);
+}
+
+TEST(Network, NodeRngsAreIndependentStreams) {
+  auto g = path_graph(3, 8);
+  SyncNetwork net(*g, 42);
+  const std::uint64_t a = net.node_rng(0).next();
+  const std::uint64_t b = net.node_rng(1).next();
+  EXPECT_NE(a, b);
+  // Same seed reproduces the same streams.
+  SyncNetwork net2(*g, 42);
+  EXPECT_EQ(net2.node_rng(0).next(), a);
+  EXPECT_EQ(net2.node_rng(1).next(), b);
+}
+
+TEST(Metrics, PlusEquals) {
+  Metrics a;
+  a.messages = 10;
+  a.rounds = 5;
+  a.peak_node_state_bits = 100;
+  Metrics b;
+  b.messages = 3;
+  b.rounds = 2;
+  b.peak_node_state_bits = 50;
+  a += b;
+  EXPECT_EQ(a.messages, 13u);
+  EXPECT_EQ(a.rounds, 7u);
+  EXPECT_EQ(a.peak_node_state_bits, 100u);  // high-water mark, not a sum
+  a.reset();
+  EXPECT_EQ(a.messages, 0u);
+}
+
+}  // namespace
+}  // namespace kkt::sim

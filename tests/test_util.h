@@ -1,0 +1,80 @@
+// Shared fixtures and helpers for the test suite.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/mst_oracle.h"
+#include "sim/async_network.h"
+#include "sim/sync_network.h"
+#include "util/rng.h"
+
+namespace kkt::test {
+
+// A graph, its maintained forest, and a network -- heap-held so the
+// aggregate is movable while internal pointers stay valid.
+struct World {
+  std::unique_ptr<graph::Graph> g;
+  std::unique_ptr<graph::MarkedForest> forest;
+  std::unique_ptr<sim::Network> net;
+
+  graph::Graph& graph() { return *g; }
+  graph::MarkedForest& trees() { return *forest; }
+  sim::Network& network() { return *net; }
+};
+
+enum class NetKind { kSync, kAsync };
+
+inline World make_world(std::unique_ptr<graph::Graph> g, std::uint64_t seed,
+                        NetKind kind = NetKind::kSync) {
+  World w;
+  w.g = std::move(g);
+  w.forest = std::make_unique<graph::MarkedForest>(*w.g);
+  if (kind == NetKind::kSync) {
+    w.net = std::make_unique<sim::SyncNetwork>(*w.g, seed);
+  } else {
+    w.net = std::make_unique<sim::AsyncNetwork>(*w.g, seed);
+  }
+  return w;
+}
+
+// Connected G(n, m) world.
+inline World make_gnm_world(std::size_t n, std::size_t m, std::uint64_t seed,
+                            NetKind kind = NetKind::kSync,
+                            graph::Weight max_weight = 1u << 20) {
+  util::Rng rng(seed);
+  m = std::min(m, n * (n - 1) / 2);  // clamp for tiny n in sweeps
+  if (n >= 1) m = std::max(m, n - 1);
+  auto g = std::make_unique<graph::Graph>(
+      graph::random_connected_gnm(n, m, {max_weight}, rng));
+  return make_world(std::move(g), seed ^ 0x9e3779b9, kind);
+}
+
+// Marks the minimum spanning forest (by Kruskal) into the world's forest.
+inline std::vector<graph::EdgeIdx> mark_msf(World& w) {
+  const auto msf = graph::kruskal_msf(*w.g);
+  for (graph::EdgeIdx e : msf) w.forest->mark_edge(e);
+  return msf;
+}
+
+// Membership flags of the marked-subgraph component containing root.
+inline std::vector<char> side_of(const World& w, graph::NodeId root) {
+  std::vector<char> side(w.g->node_count(), 0);
+  for (graph::NodeId v : w.forest->component_of(root)) side[v] = 1;
+  return side;
+}
+
+// Resolves an edge number to the alive edge index (test bookkeeping).
+inline std::optional<graph::EdgeIdx> edge_by_num(const graph::Graph& g,
+                                                 graph::EdgeNum num) {
+  for (graph::EdgeIdx e : g.alive_edge_indices()) {
+    if (g.edge_num(e) == num) return e;
+  }
+  return std::nullopt;
+}
+
+}  // namespace kkt::test

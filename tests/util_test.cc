@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/bits.h"
+#include "util/modmath.h"
+#include "util/primes.h"
+#include "util/rng.h"
+
+namespace kkt::util {
+namespace {
+
+TEST(SplitMix, DeterministicAndMixing) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  std::uint64_t a = 0, b = 1;
+  EXPECT_NE(splitmix64(a), splitmix64(b));
+}
+
+TEST(Rng, ReproducibleFromSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 100; ++i) differs |= (a2.next() != c.next());
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowStaysInBounds) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 8, kSamples = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) ++counts[rng.below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool hit_lo = false, hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    hit_lo |= v == 5;
+    hit_hi |= v == 8;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+  EXPECT_EQ(rng.range(9, 9), 9u);
+}
+
+TEST(Rng, CoinIsFair) {
+  Rng rng(17);
+  int heads = 0;
+  for (int i = 0; i < 20000; ++i) heads += rng.coin();
+  EXPECT_NEAR(heads, 10000, 400);
+}
+
+TEST(Rng, BernoulliMatchesRatio) {
+  Rng rng(19);
+  int hits = 0;
+  for (int i = 0; i < 40000; ++i) hits += rng.bernoulli(1, 8);
+  EXPECT_NEAR(hits, 5000, 300);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(23);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ForkedStreamsDiffer) {
+  Rng rng(29);
+  Rng a = rng.fork(1);
+  Rng b = rng.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(ModMath, MulModAgainstInt128) {
+  Rng rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t m = 2 + rng.below((1ull << 63) - 2);
+    const std::uint64_t a = rng.below(m), b = rng.below(m);
+    EXPECT_EQ(mulmod(a, b, m),
+              static_cast<std::uint64_t>(static_cast<u128>(a) * b % m));
+  }
+}
+
+TEST(ModMath, AddSubMod) {
+  EXPECT_EQ(addmod(5, 6, 7), 4u);
+  EXPECT_EQ(addmod(0, 0, 7), 0u);
+  EXPECT_EQ(submod(3, 5, 7), 5u);
+  EXPECT_EQ(submod(5, 3, 7), 2u);
+  // Near-overflow additions.
+  const std::uint64_t m = (1ull << 63) + 1;  // not prime; irrelevant here
+  EXPECT_EQ(addmod(m - 1, m - 1, m), m - 2);
+}
+
+TEST(ModMath, PowMod) {
+  EXPECT_EQ(powmod(2, 10, 1'000'000'007ULL), 1024u);
+  EXPECT_EQ(powmod(0, 0, 5), 1u);
+  EXPECT_EQ(powmod(7, 0, 5), 1u);
+  // Fermat: a^(p-1) = 1 mod p.
+  for (std::uint64_t a : {2ull, 3ull, 123456789ull}) {
+    EXPECT_EQ(powmod(a, kPrimeBelow63 - 1, kPrimeBelow63), 1u);
+  }
+}
+
+TEST(ModMath, InvMod) {
+  Rng rng(37);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = 1 + rng.below(kPrimeBelow63 - 1);
+    EXPECT_EQ(mulmod(a, invmod_prime(a, kPrimeBelow63), kPrimeBelow63), 1u);
+  }
+}
+
+TEST(Primes, SmallSieveAgreement) {
+  // Sieve of Eratosthenes up to 10000 as ground truth.
+  constexpr int kN = 10000;
+  std::vector<char> is_comp(kN + 1, 0);
+  for (int i = 2; i * i <= kN; ++i) {
+    if (!is_comp[i]) {
+      for (int j = i * i; j <= kN; j += i) is_comp[j] = 1;
+    }
+  }
+  for (int i = 0; i <= kN; ++i) {
+    EXPECT_EQ(is_prime_u64(i), i >= 2 && !is_comp[i]) << "n=" << i;
+  }
+}
+
+TEST(Primes, KnownLargePrimes) {
+  EXPECT_TRUE(is_prime_u64(kPrimeBelow63));
+  EXPECT_TRUE(is_prime_u64((1ull << 61) - 1));  // Mersenne prime M61
+  EXPECT_TRUE(is_prime_u64(18446744073709551557ULL));  // largest < 2^64
+  EXPECT_FALSE(is_prime_u64((1ull << 62) - 1));
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  for (std::uint64_t c : {561ull, 1105ull, 1729ull, 2465ull, 6601ull,
+                          825265ull, 321197185ull}) {
+    EXPECT_FALSE(is_prime_u64(c)) << c;
+  }
+}
+
+TEST(Primes, NextPrevPrime) {
+  EXPECT_EQ(next_prime(0), 2u);
+  EXPECT_EQ(next_prime(2), 2u);
+  EXPECT_EQ(next_prime(3), 3u);
+  EXPECT_EQ(next_prime(14), 17u);
+  EXPECT_EQ(next_prime(17), 17u);
+  EXPECT_EQ(prev_prime(17), 17u);
+  EXPECT_EQ(prev_prime(16), 13u);
+  EXPECT_EQ(prev_prime(3), 3u);
+  EXPECT_EQ(prev_prime(1ull << 63), kPrimeBelow63);
+}
+
+TEST(Bits, Log2Family) {
+  EXPECT_EQ(floor_log2(1), 0);
+  EXPECT_EQ(floor_log2(2), 1);
+  EXPECT_EQ(floor_log2(3), 1);
+  EXPECT_EQ(floor_log2(1ull << 40), 40);
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2((1ull << 40) + 1), 41);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(4), 4u);
+  EXPECT_EQ(next_pow2(5), 8u);
+}
+
+TEST(Bits, U128Helpers) {
+  const u128 x = make_u128(0xdeadbeef, 0x12345678);
+  EXPECT_EQ(hi64(x), 0xdeadbeefull);
+  EXPECT_EQ(lo64(x), 0x12345678ull);
+  EXPECT_EQ(floor_log2_u128(u128{1}), 0);
+  EXPECT_EQ(floor_log2_u128(u128{1} << 100), 100);
+  EXPECT_EQ(bit_width_u128(0), 0);
+  EXPECT_EQ(bit_width_u128((u128{1} << 100) - 1), 100);
+}
+
+}  // namespace
+}  // namespace kkt::util
