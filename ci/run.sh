@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify on the strict `dev` preset, then the
+# full test suite under Address+UB sanitizers. Usage:
+#
+#   ci/run.sh           # run both stages
+#   ci/run.sh dev       # strict-warnings build + tests only
+#   ci/run.sh asan      # sanitizer build + tests only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)
+stage="${1:-all}"
+
+run_preset() {
+  local preset="$1"
+  echo "==> configure [$preset]"
+  cmake --preset "$preset"
+  echo "==> build [$preset]"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> test [$preset]"
+  ctest --preset "$preset"
+}
+
+case "$stage" in
+  dev)  run_preset dev ;;
+  asan) run_preset asan ;;
+  all)  run_preset dev; run_preset asan ;;
+  *)    echo "usage: $0 [dev|asan|all]" >&2; exit 2 ;;
+esac
+
+echo "==> OK [$stage]"

@@ -15,9 +15,9 @@
 // `--csv` emits machine-readable rows for plotting.
 #include <cinttypes>
 #include <cstdio>
-#include <cstring>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "baseline/flood_st.h"
 #include "baseline/ghs.h"
@@ -49,12 +49,13 @@ struct Args {
 Args parse(int argc, char** argv, int from) {
   Args a;
   for (int i = from; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--", 2) != 0) continue;
-    const std::string key = argv[i] + 2;
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      a.kv[key] = argv[++i];
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 2) != "--") continue;
+    const std::string key(arg.substr(2));
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      a.kv.insert_or_assign(key, std::string(argv[++i]));
     } else {
-      a.kv[key] = "1";
+      a.kv.insert_or_assign(key, std::string("1"));
     }
   }
   return a;
