@@ -42,14 +42,19 @@ BENCHMARK(BM_Crossover_Ghs_DensitySweep)
     ->Iterations(1)->Unit(benchmark::kMillisecond);
 
 // E2c/E2d: the hierarchical worst case, n = 2^levels; the crossover.
+scenario::Scenario hierarchical_scenario(int levels) {
+  scenario::Scenario sc;
+  sc.graph = scenario::GraphSpec::hierarchical(levels);
+  sc.seed = 51;
+  sc.net_seed = 51;  // historical derivation: counters stay fixed
+  return sc;
+}
+
 void BM_Crossover_Kkt_Hierarchical(benchmark::State& state) {
   const int levels = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    util::Rng rng(51);
-    auto g = std::make_unique<graph::Graph>(
-        graph::hierarchical_complete(levels, rng));
-    const std::size_t n = g->node_count(), m = g->edge_count();
-    World w = make_world(std::move(g), 51);
+    World w = scenario::make_world(hierarchical_scenario(levels));
+    const std::size_t n = w.g->node_count(), m = w.g->edge_count();
     core::build_mst(*w.net, *w.forest);
     report(state, w.net->metrics(), n, m);
   }
@@ -61,11 +66,8 @@ BENCHMARK(BM_Crossover_Kkt_Hierarchical)
 void BM_Crossover_Ghs_Hierarchical(benchmark::State& state) {
   const int levels = static_cast<int>(state.range(0));
   for (auto _ : state) {
-    util::Rng rng(51);
-    auto g = std::make_unique<graph::Graph>(
-        graph::hierarchical_complete(levels, rng));
-    const std::size_t n = g->node_count(), m = g->edge_count();
-    World w = make_world(std::move(g), 51);
+    World w = scenario::make_world(hierarchical_scenario(levels));
+    const std::size_t n = w.g->node_count(), m = w.g->edge_count();
     baseline::ghs_build_mst(*w.net, *w.forest);
     report(state, w.net->metrics(), n, m);
   }

@@ -21,11 +21,12 @@ struct CutWorld {
 
 CutWorld make_cut_world(std::size_t n, std::size_t m, std::uint64_t seed,
                         graph::Weight max_weight = 1u << 20) {
-  util::Rng rng(seed);
-  auto g = std::make_unique<graph::Graph>(
-      graph::random_connected_gnm(n, m, {max_weight}, rng));
-  CutWorld cw{make_world(std::move(g), seed ^ 0xf1dc)};
-  mark_msf(cw.w);
+  scenario::Scenario sc;
+  sc.graph = scenario::GraphSpec::gnm(n, m, max_weight);
+  sc.seed = seed;
+  sc.net_seed = seed ^ 0xf1dc;  // historical derivation: counters stay fixed
+  sc.premark_msf = true;
+  CutWorld cw{scenario::make_world(sc)};
   const auto tree = cw.w.forest->marked_edges();
   const graph::EdgeIdx split = tree[tree.size() / 3];
   cw.w.forest->clear_edge(split);

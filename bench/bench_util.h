@@ -5,57 +5,57 @@
 // time. Each experiment reports its observables as benchmark counters; the
 // rows printed by these binaries are the reproduction's "tables" (see
 // EXPERIMENTS.md for the mapping to the paper's claims).
+//
+// World construction lives in the kkt_scenario library; this header only
+// adds the benchmark-counter plumbing. The net-seed salt of the legacy
+// bench helpers is scenario::kNetSeedSalt, so fixed-seed counter values are
+// unchanged by the rebase.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
 #include <cmath>
-
 #include <memory>
+#include <utility>
 
 #include "graph/forest.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/mst_oracle.h"
-#include "sim/async_network.h"
-#include "sim/sync_network.h"
+#include "scenario/scenario.h"
 #include "util/rng.h"
 
 namespace kkt::bench {
 
-struct World {
-  std::unique_ptr<graph::Graph> g;
-  std::unique_ptr<graph::MarkedForest> forest;
-  std::unique_ptr<sim::Network> net;
-};
+using scenario::NetKind;
+using scenario::World;
 
-enum class NetKind { kSync, kAsync };
+// Connected G(n, m) scenario with the bench seed discipline (graph from
+// `seed`, network from seed ^ kNetSeedSalt).
+inline scenario::Scenario gnm_scenario(std::size_t n, std::size_t m,
+                                       std::uint64_t seed,
+                                       NetKind kind = NetKind::kSync) {
+  scenario::Scenario sc;
+  sc.graph = scenario::GraphSpec::gnm(n, m);
+  sc.net.kind = kind;
+  sc.seed = seed;
+  return sc;
+}
 
 inline World make_world(std::unique_ptr<graph::Graph> g, std::uint64_t seed,
                         NetKind kind = NetKind::kSync) {
-  World w;
-  w.g = std::move(g);
-  w.forest = std::make_unique<graph::MarkedForest>(*w.g);
-  if (kind == NetKind::kSync) {
-    w.net = std::make_unique<sim::SyncNetwork>(*w.g, seed);
-  } else {
-    w.net = std::make_unique<sim::AsyncNetwork>(*w.g, seed);
-  }
-  return w;
+  scenario::NetSpec net;
+  net.kind = kind;
+  return scenario::make_world(std::move(g), net, seed);
 }
 
 inline World make_gnm_world(std::size_t n, std::size_t m, std::uint64_t seed,
                             NetKind kind = NetKind::kSync) {
-  util::Rng rng(seed);
-  auto g = std::make_unique<graph::Graph>(
-      graph::random_connected_gnm(n, m, {1u << 20}, rng));
-  return make_world(std::move(g), seed ^ 0x51ed, kind);
+  return scenario::make_world(gnm_scenario(n, m, seed, kind));
 }
 
 // Marks the oracle MSF (used to set up repair scenarios).
-inline void mark_msf(World& w) {
-  for (graph::EdgeIdx e : graph::kruskal_msf(*w.g)) w.forest->mark_edge(e);
-}
+inline void mark_msf(World& w) { w.mark_msf(); }
 
 // Publishes the standard observables of a finished run.
 inline void report(benchmark::State& state, const sim::Metrics& m,
@@ -73,6 +73,15 @@ inline void report(benchmark::State& state, const sim::Metrics& m,
   state.counters["bits"] = static_cast<double>(m.message_bits);
   state.counters["peak_state_bits"] =
       static_cast<double>(m.peak_node_state_bits);
+  // Per-tag budget split: which protocol spends the envelopes and the bits.
+  for (std::size_t t = 0; t < m.per_tag.size(); ++t) {
+    if (m.per_tag[t] == 0) continue;
+    const char* name = sim::tag_name(static_cast<sim::Tag>(t));
+    state.counters[std::string("msgs.") + name] =
+        static_cast<double>(m.per_tag[t]);
+    state.counters[std::string("bits.") + name] =
+        static_cast<double>(m.per_tag_bits[t]);
+  }
 }
 
 }  // namespace kkt::bench

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify on the strict `dev` preset, then the
-# full test suite under Address+UB sanitizers. Usage:
+# CI entry point: the tier-1 verify on the strict `dev` preset, the full
+# test suite under Address+UB sanitizers, and the bench-baseline snapshot
+# that seeds the perf trajectory. Usage:
 #
-#   ci/run.sh           # run both stages
+#   ci/run.sh           # dev + asan stages
 #   ci/run.sh dev       # strict-warnings build + tests only
 #   ci/run.sh asan      # sanitizer build + tests only
+#   ci/run.sh bench     # release build + bench smoke, archives BENCH_messages.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,11 +23,31 @@ run_preset() {
   ctest --preset "$preset"
 }
 
+# Bench baseline: the model-cost counters (messages, bits, rounds,
+# broadcast-and-echoes) are deterministic given the seed, so a smoke-length
+# run captures the same counter values as a full run. The JSON snapshot is
+# the perf-trajectory artifact future PRs diff against.
+run_bench_baseline() {
+  echo "==> configure [release]"
+  cmake --preset release
+  echo "==> build [release] (benches)"
+  cmake --build --preset release -j "$jobs"
+  echo "==> bench baseline (smoke config, json)"
+  local out="${BENCH_OUT:-BENCH_messages.json}"
+  ./build/release/bench/bench_build_mst \
+    --benchmark_min_time=0.01 \
+    --benchmark_format=json \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json
+  echo "==> archived $out"
+}
+
 case "$stage" in
-  dev)  run_preset dev ;;
-  asan) run_preset asan ;;
-  all)  run_preset dev; run_preset asan ;;
-  *)    echo "usage: $0 [dev|asan|all]" >&2; exit 2 ;;
+  dev)   run_preset dev ;;
+  asan)  run_preset asan ;;
+  bench) run_bench_baseline ;;
+  all)   run_preset dev; run_preset asan ;;
+  *)     echo "usage: $0 [dev|asan|bench|all]" >&2; exit 2 ;;
 esac
 
 echo "==> OK [$stage]"

@@ -17,8 +17,8 @@
 #include "baseline/flood_st.h"
 #include "core/build_st.h"
 #include "proto/tree_ops.h"
+#include "scenario/scenario.h"
 #include "sim/sync_network.h"
-#include "graph/generators.h"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 128;
@@ -28,9 +28,8 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 99;
 
-  kkt::util::Rng rng(seed);
-  kkt::graph::Graph g =
-      kkt::graph::random_connected_gnm(n, m, {1u << 10}, rng);
+  kkt::graph::Graph g = kkt::scenario::build_graph(
+      kkt::scenario::GraphSpec::gnm(n, m, 1u << 10), seed);
 
   // --- construction: KKT Build ST vs flooding ------------------------------
   kkt::graph::MarkedForest st(g);

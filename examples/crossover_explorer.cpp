@@ -13,8 +13,8 @@
 
 #include "baseline/ghs.h"
 #include "core/build_mst.h"
-#include "graph/generators.h"
 #include "graph/mst_oracle.h"
+#include "scenario/scenario.h"
 #include "sim/sync_network.h"
 
 namespace {
@@ -51,8 +51,8 @@ int main(int argc, char** argv) {
   std::printf("%6s %9s %12s %12s %8s\n", "n", "m", "KKT msgs", "GHS msgs",
               "GHS/KKT");
   for (int lv = 5; lv <= max_levels; ++lv) {
-    kkt::util::Rng rng(1);
-    const kkt::graph::Graph g = kkt::graph::hierarchical_complete(lv, rng);
+    const kkt::graph::Graph g = kkt::scenario::build_graph(
+        kkt::scenario::GraphSpec::hierarchical(lv), 1);
     const Run kkt_run = run_kkt(g, 11);
     const Run ghs_run = run_ghs(g, 11);
     std::printf("%6zu %9zu %12" PRIu64 " %12" PRIu64 " %8.2f%s\n",
@@ -67,9 +67,8 @@ int main(int argc, char** argv) {
   std::printf("== density sweep at n = 256, random weights ==\n");
   std::printf("%9s %12s %12s\n", "m", "KKT msgs", "GHS msgs");
   for (std::size_t m : {512u, 2048u, 8192u, 32640u}) {
-    kkt::util::Rng rng(2);
-    const kkt::graph::Graph g =
-        kkt::graph::random_connected_gnm(256, m, {1u << 20}, rng);
+    const kkt::graph::Graph g = kkt::scenario::build_graph(
+        kkt::scenario::GraphSpec::gnm(256, m), 2);
     const Run kkt_run = run_kkt(g, 12);
     const Run ghs_run = run_ghs(g, 12);
     std::printf("%9zu %12" PRIu64 " %12" PRIu64 "\n", m, kkt_run.messages,

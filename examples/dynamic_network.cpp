@@ -17,6 +17,7 @@
 #include "core/repair.h"
 #include "graph/generators.h"
 #include "graph/mst_oracle.h"
+#include "scenario/scenario.h"
 #include "sim/async_network.h"
 
 namespace {
@@ -46,19 +47,22 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
 
-  kkt::util::Rng rng(seed);
-  kkt::graph::Graph g =
-      kkt::graph::random_connected_gnm(n, m, {1u << 20}, rng);
-  kkt::graph::MarkedForest forest(g);
-  kkt::sim::AsyncNetwork net(g, seed);
+  // The maintained world as a scenario: G(n, m) on an asynchronous
+  // transport, starting from the oracle MST (any correct starting tree
+  // works; between updates nodes remember nothing but incident edges and
+  // mark bits).
+  kkt::scenario::Scenario sc;
+  sc.graph = kkt::scenario::GraphSpec::gnm(n, m);
+  sc.net = kkt::scenario::NetSpec::async();
+  sc.seed = seed;
+  sc.net_seed = seed;
+  sc.premark_msf = true;
+  kkt::scenario::World world = kkt::scenario::make_world(sc);
+  kkt::graph::Graph& g = world.graph();
+  kkt::graph::MarkedForest& forest = world.trees();
 
-  // Start from the oracle MST (any correct starting tree works; between
-  // updates nodes remember nothing but incident edges and mark bits).
-  for (kkt::graph::EdgeIdx e : kkt::graph::kruskal_msf(g)) {
-    forest.mark_edge(e);
-  }
-
-  kkt::core::DynamicForest dyn(g, forest, net,
+  kkt::util::Rng rng(kkt::util::mix_seeds(seed, 0xc4a4));
+  kkt::core::DynamicForest dyn(g, forest, world.network(),
                                kkt::core::ForestKind::kMst);
   std::printf("maintaining the MST of a %zu-node, %zu-edge network; "
               "%d updates\n\n", n, m, ops);

@@ -1,18 +1,23 @@
 // kkt_lab: a command-line laboratory for the library.
 //
-//   kkt_lab gen   --family gnm|complete|ring|grid|barbell|pa|hier
+//   kkt_lab gen   --family gnm|gnp|complete|ring|grid|barbell|geometric|
+//                          pa|tree|hier
 //                 [--n N] [--m M] [--levels L] [--maxw W] [--seed S]
 //                 [--out FILE]
 //   kkt_lab build --algo kkt-mst|kkt-st|ghs|flood
-//                 (--in FILE | --family ... as above) [--seed S] [--csv]
+//                 (--in FILE | --family ... as above) [--seed S]
+//                 [--net sync|async|adversarial] [--csv]
 //   kkt_lab repair --kind mst|st --ops K
-//                 (--in FILE | --family ...) [--seed S] [--csv]
+//                 (--in FILE | --family ...) [--seed S]
+//                 [--net sync|async|adversarial] [--csv]
 //
-// `build` constructs the requested tree, verifies it (distributed
+// Graph families and transports are the kkt_scenario descriptors, so every
+// experiment expressible here is also expressible as a Scenario value in
+// code. `build` constructs the requested tree, verifies it (distributed
 // verify_spanning plus the centralized oracle for MSTs) and prints the
-// communication bill with a per-message-tag breakdown. `repair` applies a
-// random update stream with impromptu repair and prints per-op costs.
-// `--csv` emits machine-readable rows for plotting.
+// communication bill with a per-message-tag breakdown (messages and bits).
+// `repair` applies a random update stream with impromptu repair and prints
+// per-op costs. `--csv` emits machine-readable rows for plotting.
 #include <cinttypes>
 #include <cstdio>
 #include <map>
@@ -25,11 +30,9 @@
 #include "core/build_st.h"
 #include "core/repair.h"
 #include "core/verify.h"
-#include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/mst_oracle.h"
-#include "sim/async_network.h"
-#include "sim/sync_network.h"
+#include "scenario/scenario.h"
 
 namespace {
 
@@ -72,25 +75,42 @@ kkt::graph::Graph make_graph(const Args& a, kkt::util::Rng& rng) {
     return *std::move(g);
   }
   const std::string family = a.get("family", "gnm");
-  const std::size_t n = a.num("n", 128);
-  const std::size_t m = a.num("m", std::min(8 * n, n * (n - 1) / 2));
-  const kkt::graph::WeightSpec ws{a.num("maxw", 1u << 20)};
-  if (family == "gnm") return kkt::graph::random_connected_gnm(n, m, ws, rng);
-  if (family == "complete") return kkt::graph::complete(n, ws, rng);
-  if (family == "ring") return kkt::graph::ring(n, ws, rng);
-  if (family == "grid") return kkt::graph::grid(n, a.num("cols", n), ws, rng);
-  if (family == "barbell") {
-    return kkt::graph::barbell(n, a.num("path", 3), ws, rng);
+  const auto fam = kkt::scenario::family_from_name(family);
+  if (!fam) {
+    std::fprintf(stderr, "error: unknown family '%s'\n", family.c_str());
+    std::exit(2);
   }
-  if (family == "pa") {
-    return kkt::graph::preferential_attachment(n, a.num("k", 3), ws, rng);
+  kkt::scenario::GraphSpec spec;
+  spec.family = *fam;
+  spec.n = a.num("n", 128);
+  spec.m = a.num("m", std::min(8 * spec.n, spec.n * (spec.n - 1) / 2));
+  spec.weights = {a.num("maxw", 1u << 20)};
+  using F = kkt::scenario::GraphFamily;
+  switch (*fam) {
+    case F::kGrid: spec.aux = a.num("cols", spec.n); break;
+    case F::kBarbell: spec.aux = a.num("path", 3); break;
+    case F::kPreferential: spec.aux = a.num("k", 3); break;
+    case F::kHierarchical: spec.aux = a.num("levels", 8); break;
+    case F::kGnp: spec.param = 2.0 * double(spec.m) /
+                               (double(spec.n) * double(spec.n - 1)); break;
+    case F::kGeometric: spec.param = 0.5; break;
+    default: break;
   }
-  if (family == "hier") {
-    return kkt::graph::hierarchical_complete(
-        static_cast<int>(a.num("levels", 8)), rng);
+  return kkt::scenario::build_graph(spec, a.num("seed", 1));
+}
+
+kkt::scenario::NetSpec make_net_spec(const Args& a,
+                                     kkt::scenario::NetKind dflt) {
+  const std::string net = a.get(
+      "net", kkt::scenario::net_kind_name(dflt));
+  const auto kind = kkt::scenario::net_kind_from_name(net);
+  if (!kind) {
+    std::fprintf(stderr, "error: unknown net kind '%s'\n", net.c_str());
+    std::exit(2);
   }
-  std::fprintf(stderr, "error: unknown family '%s'\n", family.c_str());
-  std::exit(2);
+  kkt::scenario::NetSpec spec;
+  spec.kind = *kind;
+  return spec;
 }
 
 void print_metrics(const kkt::sim::Metrics& m, std::size_t n, std::size_t em,
@@ -107,11 +127,12 @@ void print_metrics(const kkt::sim::Metrics& m, std::size_t n, std::size_t em,
               m.messages, double(m.messages) / double(n),
               double(m.messages) / double(em ? em : 1), m.rounds,
               m.broadcast_echoes, m.message_bits);
-  std::printf("message breakdown:");
+  std::printf("message breakdown (msgs/bits):");
   for (int t = 0; t < static_cast<int>(kkt::sim::Tag::kTagCount); ++t) {
     const auto c = m.per_tag[t];
     if (c != 0) {
-      std::printf("  %s=%" PRIu64, kkt::sim::tag_name(kkt::sim::Tag(t)), c);
+      std::printf("  %s=%" PRIu64 "/%" PRIu64,
+                  kkt::sim::tag_name(kkt::sim::Tag(t)), c, m.per_tag_bits[t]);
     }
   }
   std::printf("\n");
@@ -140,7 +161,10 @@ int cmd_build(const Args& a) {
   const std::string algo = a.get("algo", "kkt-mst");
   const bool csv = a.has("csv");
   kkt::graph::MarkedForest forest(g);
-  kkt::sim::SyncNetwork net(g, a.num("seed", 1) ^ 0xbeef);
+  const auto net_ptr = kkt::scenario::make_network(
+      g, make_net_spec(a, kkt::scenario::NetKind::kSync),
+      a.num("seed", 1) ^ 0xbeef);
+  kkt::sim::Network& net = *net_ptr;
 
   bool ok = false;
   if (algo == "kkt-mst") {
@@ -185,7 +209,9 @@ int cmd_repair(const Args& a) {
 
   kkt::graph::MarkedForest forest(g);
   for (auto e : kkt::graph::kruskal_msf(g)) forest.mark_edge(e);
-  kkt::sim::AsyncNetwork net(g, seed ^ 0xd1ce);
+  const auto net_ptr = kkt::scenario::make_network(
+      g, make_net_spec(a, kkt::scenario::NetKind::kAsync), seed ^ 0xd1ce);
+  kkt::sim::Network& net = *net_ptr;
   kkt::core::DynamicForest dyn(
       g, forest, net,
       mst ? kkt::core::ForestKind::kMst : kkt::core::ForestKind::kSt);

@@ -2,18 +2,20 @@
 //
 //   $ ./quickstart [n] [m] [seed]
 //
-// Creates a random connected weighted network, runs the King-Kutten-Thorup
-// Build MST on a synchronous CONGEST simulator, verifies the result against
-// a centralized Kruskal oracle, and prints the communication bill.
+// Describes the experiment as a scenario -- graph family x network kind x
+// seed -- and hands it to run_scenario(): the library generates a random
+// connected weighted network, wires the King-Kutten-Thorup Build MST onto a
+// synchronous CONGEST simulator, and returns the communication bill. The
+// result is verified against a centralized Kruskal oracle and by the
+// network's own distributed self-audit.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/build_mst.h"
 #include "core/verify.h"
-#include "graph/generators.h"
 #include "graph/mst_oracle.h"
-#include "sim/sync_network.h"
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 64;
@@ -23,32 +25,42 @@ int main(int argc, char** argv) {
   const std::uint64_t seed =
       argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 2015;
 
-  // 1. A communications network: n processors, m links, random weights.
-  kkt::util::Rng rng(seed);
-  kkt::graph::Graph g =
-      kkt::graph::random_connected_gnm(n, m, {1u << 20}, rng);
+  // 1. The scenario: a connected G(n, m) network with random weights on a
+  //    synchronous CONGEST transport. Swap `sc.net` for NetSpec::async()
+  //    or NetSpec::adversarial() to explore other delivery schedules.
+  kkt::scenario::Scenario sc;
+  sc.graph = kkt::scenario::GraphSpec::gnm(n, m);
+  sc.net = kkt::scenario::NetSpec::sync();
+  sc.seed = seed;
+  sc.net_seed = seed;
 
-  // 2. The maintained forest (mark bits at each endpoint) and the
-  //    synchronous CONGEST transport.
-  kkt::graph::MarkedForest forest(g);
-  kkt::sim::SyncNetwork net(g, seed);
+  // 2. Run it: Build MST is Boruvka phases of leader election + FindMin-C +
+  //    Add-Edge, all as real message protocols over the simulated links.
+  kkt::core::BuildStats stats;
+  bool correct = false;
+  bool audit_ok = false;
+  std::uint64_t audit_msgs = 0;
+  kkt::sim::Metrics mtr;  // the construction bill, without the audit
+  kkt::scenario::run_scenario(sc, [&](kkt::scenario::World& w) {
+    stats = kkt::core::build_mst(w.network(), w.trees());
+    mtr = w.network().metrics();
 
-  // 3. Build the MST: Boruvka phases of leader election + FindMin-C +
-  //    Add-Edge, all as real message protocols.
-  const kkt::core::BuildStats stats = kkt::core::build_mst(net, forest);
+    // 3. Verify against the centralized oracle (unique augmented
+    //    weights make the minimum spanning forest unique).
+    correct = kkt::graph::same_edge_set(w.trees().marked_edges(),
+                                        kkt::graph::kruskal_msf(w.graph()));
 
-  // 4. Verify against the centralized oracle (unique augmented weights
-  //    make the minimum spanning forest unique).
-  const bool correct = kkt::graph::same_edge_set(
-      forest.marked_edges(), kkt::graph::kruskal_msf(g));
+    // 4. The network can also audit itself without the oracle: one
+    //    election plus one HP-TestOut per component (O(n) messages).
+    audit_ok = kkt::core::verify_spanning(w.network(), w.trees())
+                   .spanning_forest();
+    audit_msgs = w.network().metrics().messages - mtr.messages;
+  });
 
   std::printf("network: n=%zu nodes, m=%zu edges\n", n, m);
   std::printf("result:  %s, %s after %zu phases\n",
               correct ? "matches Kruskal" : "MISMATCH",
               stats.spanning ? "spanning" : "NOT spanning", stats.phases);
-  std::printf("tree weight: %" PRIu64 "\n",
-              kkt::graph::total_raw_weight(g, forest.marked_edges()));
-  const auto& mtr = net.metrics();
   std::printf("cost:    %" PRIu64 " messages (%0.2f per node, %0.2f per edge)\n",
               mtr.messages, double(mtr.messages) / double(n),
               double(mtr.messages) / double(m));
@@ -62,15 +74,8 @@ int main(int argc, char** argv) {
                 i + 1, stats.per_phase[i].fragments, stats.per_phase[i].merges,
                 stats.per_phase[i].messages);
   }
-
-  // 5. The network can also audit itself without the oracle: one election
-  //    plus one HP-TestOut per component (O(n) messages).
-  const std::uint64_t before = net.metrics().messages;
-  const kkt::core::VerifySpanningResult audit =
-      kkt::core::verify_spanning(net, forest);
   std::printf("distributed self-audit: %s (%" PRIu64 " messages)\n",
-              audit.spanning_forest() ? "spanning forest confirmed"
-                                      : "REJECTED",
-              net.metrics().messages - before);
-  return correct && stats.spanning && audit.spanning_forest() ? 0 : 1;
+              audit_ok ? "spanning forest confirmed" : "REJECTED",
+              audit_msgs);
+  return correct && stats.spanning && audit_ok ? 0 : 1;
 }

@@ -231,13 +231,12 @@ GhsStats ghs_build_mst(sim::Network& net, graph::MarkedForest& forest,
     {
       sim::ParallelPhase par(net);
       for (std::size_t f = 0; f < frags.size(); ++f) {
-        par.begin_branch();
+        const auto branch = par.branch();
         const proto::ElectionResult el = ops.elect(frags[f]);
         assert(el.leader != graph::kNoNode);
         leaders[f] = el.leader;
         const std::uint64_t id = g.ext_id(el.leader);
         for (NodeId v : frags[f]) frag_id[v] = id;
-        par.end_branch();
       }
       par.finish();
     }
@@ -246,7 +245,7 @@ GhsStats ghs_build_mst(sim::Network& net, graph::MarkedForest& forest,
     {
       sim::ParallelPhase par(net);
       for (std::size_t f = 0; f < frags.size(); ++f) {
-        par.begin_branch();
+        const auto branch = par.branch();
         if (rejected.size() < g.edge_slots()) {
           rejected.resize(g.edge_slots(), 0);
         }
@@ -257,7 +256,6 @@ GhsStats ghs_build_mst(sim::Network& net, graph::MarkedForest& forest,
           ops.add_edge(forest, leaders[f], search.min_edge_num(),
                        static_cast<std::uint32_t>(phase));
         }
-        par.end_branch();
       }
       par.finish();
     }

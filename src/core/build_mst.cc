@@ -63,7 +63,7 @@ BuildStats build_mst(sim::Network& net, graph::MarkedForest& forest,
 
     sim::ParallelPhase par(net);
     for (const auto& frag : fragment_lists(label, count)) {
-      par.begin_branch();
+      const auto branch = par.branch();
       const proto::ElectionResult el = ops.elect(frag);
       assert(el.leader != graph::kNoNode && "MST fragments are trees");
       const FindMinResult fm_res = find_min(ops, el.leader, fm);
@@ -73,7 +73,6 @@ BuildStats build_mst(sim::Network& net, graph::MarkedForest& forest,
           ++info.merges;
         }
       }
-      par.end_branch();
     }
     par.finish();
 

@@ -92,7 +92,7 @@ BuildStStats build_st(sim::Network& net, graph::MarkedForest& forest,
 
     sim::ParallelPhase par(net);
     for (const auto& frag : fragment_lists(label, count)) {
-      par.begin_branch();
+      const auto branch = par.branch();
       const proto::ElectionResult el = ops.elect(frag);
       assert(el.leader != graph::kNoNode &&
              "fragments are trees at phase start");
@@ -103,7 +103,6 @@ BuildStStats build_st(sim::Network& net, graph::MarkedForest& forest,
           ++info.merges;
         }
       }
-      par.end_branch();
     }
     par.finish();
 
@@ -115,12 +114,11 @@ BuildStStats build_st(sim::Network& net, graph::MarkedForest& forest,
       proto::TreeOps mops(net, merged);
       sim::ParallelPhase mpar(net);
       for (const auto& comp : fragment_lists(mlabel, mcount)) {
-        mpar.begin_branch();
+        const auto branch = mpar.branch();
         const auto [detected, hard] =
             resolve_st_cycle(net, forest, mops, comp);
         info.cycles_detected += detected ? 1 : 0;
         info.cycles_hard_reset += hard ? 1 : 0;
-        mpar.end_branch();
       }
       mpar.finish();
     }

@@ -165,7 +165,7 @@ DynamicForest::BatchOutcome DynamicForest::delete_batch(
     for (std::size_t c = 0; c < count; ++c) {
       if (!comp_dirty[c]) continue;
       any = true;
-      par.begin_branch();
+      const auto branch = par.branch();
       const proto::ElectionResult el = ops.elect(comps[c]);
       assert(el.leader != graph::kNoNode);
       bool found = false;
@@ -186,7 +186,6 @@ DynamicForest::BatchOutcome DynamicForest::delete_batch(
         // Maximal (or search exhausted, w.h.p. absent): fragment is clean.
         for (NodeId v : comps[c]) dirty[v] = 0;
       }
-      par.end_branch();
     }
     par.finish();
 
@@ -206,9 +205,8 @@ DynamicForest::BatchOutcome DynamicForest::delete_batch(
       sim::ParallelPhase mpar(*net_);
       for (std::size_t c = 0; c < mcount; ++c) {
         if (!mdirty[c]) continue;
-        mpar.begin_branch();
+        const auto branch = mpar.branch();
         resolve_st_cycle(*net_, *forest_, mops, mcomps[c]);
-        mpar.end_branch();
       }
       mpar.finish();
     }

@@ -205,9 +205,9 @@ class SampleProtocol final : public sim::Protocol {
     }
     NodeState& st = state_[self];
     sim::Message reply(sim::Tag::kSampleReply);
-    reply.words = st.collected;
-    assert(reply.words.size() <= sim::kMaxMessageWords);
-    net.send(self, st.parent, std::move(reply));
+    reply.words.assign(st.collected.begin(), st.collected.end());
+    assert(!reply.words.overflowed());
+    net.send(self, st.parent, reply);
   }
 
   graph::TreeView tree_;

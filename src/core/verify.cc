@@ -34,14 +34,13 @@ VerifySpanningResult verify_spanning(sim::Network& net,
 
   sim::ParallelPhase par(net);
   for (const auto& comp : comps) {
-    par.begin_branch();
+    const auto branch = par.branch();
     const proto::ElectionResult el = ops.elect(comp);
     if (el.leader == graph::kNoNode) {
       res.acyclic = false;  // stalled echoes == cycle (Section 4.2)
     } else if (hp_test_out_any(ops, el.leader).leaving) {
       res.maximal = false;  // an edge leaves this component: not maximal
     }
-    par.end_branch();
   }
   par.finish();
   return res;

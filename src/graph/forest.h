@@ -99,12 +99,64 @@ class TreeView {
     return forest_->is_marked_at(e, epoch_limit_);
   }
 
-  std::vector<Incidence> neighbors(NodeId v) const {
-    std::vector<Incidence> out;
-    for (const Incidence& inc : forest_->graph().incident(v)) {
-      if (contains(inc.edge)) out.push_back(inc);
+  // Lazy, allocation-free range over the marked incident edges of `v`:
+  // protocols walk tree neighbors in their hottest loops, so the filter is
+  // applied during iteration instead of materializing a vector per visit.
+  class NeighborRange {
+   public:
+    class iterator {
+     public:
+      using value_type = Incidence;
+      using reference = const Incidence&;
+      using difference_type = std::ptrdiff_t;
+
+      iterator(const TreeView* view, const Incidence* cur,
+               const Incidence* end)
+          : view_(view), cur_(cur), end_(end) {
+        skip_unmarked();
+      }
+
+      reference operator*() const { return *cur_; }
+      const Incidence* operator->() const { return cur_; }
+      iterator& operator++() {
+        ++cur_;
+        skip_unmarked();
+        return *this;
+      }
+      bool operator==(const iterator& o) const { return cur_ == o.cur_; }
+      bool operator!=(const iterator& o) const { return cur_ != o.cur_; }
+
+     private:
+      void skip_unmarked() {
+        while (cur_ != end_ && !view_->contains(cur_->edge)) ++cur_;
+      }
+
+      const TreeView* view_;
+      const Incidence* cur_;
+      const Incidence* end_;
+    };
+
+    NeighborRange(const TreeView* view, const Incidence* first,
+                  const Incidence* last)
+        : view_(view), first_(first), last_(last) {}
+
+    iterator begin() const { return {view_, first_, last_}; }
+    iterator end() const { return {view_, last_, last_}; }
+    std::size_t size() const {
+      std::size_t d = 0;
+      for ([[maybe_unused]] const Incidence& inc : *this) ++d;
+      return d;
     }
-    return out;
+
+   private:
+    const TreeView* view_;
+    const Incidence* first_;
+    const Incidence* last_;
+  };
+
+  NeighborRange neighbors(NodeId v) const {
+    const auto& adj = forest_->graph().incident(v);
+    return {this, adj.data(), adj.data() + adj.size()};
   }
 
   std::size_t degree(NodeId v) const {

@@ -5,8 +5,8 @@
 
 namespace kkt::proto {
 
-Broadcast::Broadcast(const graph::TreeView& tree, NodeId root,
-                     std::vector<std::uint64_t> payload, ReceiveFn on_receive)
+Broadcast::Broadcast(const graph::TreeView& tree, NodeId root, Words payload,
+                     ReceiveFn on_receive)
     : tree_(tree),
       root_(root),
       payload_(std::move(payload)),
@@ -34,8 +34,8 @@ void Broadcast::relay(sim::Network& net, NodeId self, NodeId from,
   for (const graph::Incidence& inc : tree_.neighbors(self)) {
     if (inc.peer == from) continue;
     sim::Message msg(sim::Tag::kBroadcast);
-    msg.words.assign(payload.begin(), payload.end());
-    net.send(self, inc.peer, std::move(msg));
+    msg.words.assign(payload);
+    net.send(self, inc.peer, msg);
   }
   if (on_receive_) on_receive_(self, payload);
 }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/forest.h"
+#include "proto/words.h"
 #include "sim/network.h"
 
 namespace kkt::proto {
@@ -30,8 +31,8 @@ class Broadcast final : public sim::Protocol {
   using ReceiveFn =
       std::function<void(NodeId self, std::span<const std::uint64_t> payload)>;
 
-  Broadcast(const graph::TreeView& tree, NodeId root,
-            std::vector<std::uint64_t> payload, ReceiveFn on_receive = {});
+  Broadcast(const graph::TreeView& tree, NodeId root, Words payload,
+            ReceiveFn on_receive = {});
 
   void on_start(sim::Network& net, NodeId self) override;
   void on_message(sim::Network& net, NodeId self, NodeId from,
@@ -43,7 +44,7 @@ class Broadcast final : public sim::Protocol {
 
   graph::TreeView tree_;
   NodeId root_;
-  std::vector<std::uint64_t> payload_;
+  Words payload_;
   ReceiveFn on_receive_;
   std::vector<char> seen_;
 };

@@ -6,17 +6,21 @@
 namespace kkt::proto {
 
 BroadcastEcho::BroadcastEcho(const graph::TreeView& tree, NodeId root,
-                             Words payload, LocalFn local, CombineFn combine)
+                             Words payload, LocalFn local, CombineFn combine,
+                             Scratch* scratch)
     : tree_(tree),
       root_(root),
       payload_(std::move(payload)),
       local_(std::move(local)),
       combine_(std::move(combine)),
-      state_(tree.graph().node_count()) {}
+      scratch_(scratch != nullptr ? scratch : &own_scratch_) {
+  scratch_->ensure(tree.graph().node_count());
+  scratch_->next_run();
+}
 
 void BroadcastEcho::start_node(sim::Network& net, NodeId self, NodeId parent,
                                std::span<const std::uint64_t> payload) {
-  NodeState& st = state_[self];
+  NodeState& st = scratch_->node(self);
   assert(!st.started && "tree contains a cycle: broadcast arrived twice");
   st.started = true;
   st.parent = parent;
@@ -25,8 +29,8 @@ void BroadcastEcho::start_node(sim::Network& net, NodeId self, NodeId parent,
   for (const graph::Incidence& inc : tree_.neighbors(self)) {
     if (inc.peer == parent) continue;
     sim::Message msg(sim::Tag::kBroadcast);
-    msg.words.assign(payload.begin(), payload.end());
-    net.send(self, inc.peer, std::move(msg));
+    msg.words.assign(payload);
+    net.send(self, inc.peer, msg);
     ++children;
   }
   st.pending = children;
@@ -42,12 +46,12 @@ void BroadcastEcho::on_start(sim::Network& net, NodeId self) {
 
 void BroadcastEcho::on_message(sim::Network& net, NodeId self, NodeId from,
                                const sim::Message& msg) {
-  NodeState& st = state_[self];
   switch (msg.tag) {
     case sim::Tag::kBroadcast:
       start_node(net, self, from, msg.words);
       break;
     case sim::Tag::kEcho: {
+      NodeState& st = scratch_->node(self);
       assert(st.started && st.pending > 0);
       const auto edge = tree_.graph().find_edge(self, from);
       assert(edge.has_value());
@@ -62,7 +66,7 @@ void BroadcastEcho::on_message(sim::Network& net, NodeId self, NodeId from,
 }
 
 void BroadcastEcho::absorb_and_maybe_echo(sim::Network& net, NodeId self) {
-  NodeState& st = state_[self];
+  NodeState& st = scratch_->node(self);
   if (self == root_) {
     done_ = true;
     result_ = st.acc;
@@ -70,7 +74,7 @@ void BroadcastEcho::absorb_and_maybe_echo(sim::Network& net, NodeId self) {
   }
   sim::Message echo(sim::Tag::kEcho);
   echo.words = st.acc;
-  net.send(self, st.parent, std::move(echo));
+  net.send(self, st.parent, echo);
 }
 
 }  // namespace kkt::proto

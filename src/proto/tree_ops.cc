@@ -8,7 +8,8 @@ namespace kkt::proto {
 
 Words TreeOps::broadcast_echo(NodeId root, Words payload, const LocalFn& local,
                               const CombineFn& combine) {
-  BroadcastEcho proto(tree_, root, std::move(payload), local, combine);
+  BroadcastEcho proto(tree_, root, std::move(payload), local, combine,
+                      &be_scratch_);
   const NodeId participants[] = {root};
   net_->run(proto, participants);
   assert(proto.done() && "broadcast-and-echo did not converge");

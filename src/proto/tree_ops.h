@@ -52,6 +52,10 @@ class TreeOps {
  private:
   sim::Network* net_;
   graph::TreeView tree_;
+  // Reused across broadcast_echo calls: repeated ops (FindMin's inner loop,
+  // one op per fragment per phase) touch only their own tree and allocate
+  // nothing once the arena is warm.
+  BroadcastEcho::Scratch be_scratch_;
 };
 
 // --- stock combine functions ------------------------------------------------

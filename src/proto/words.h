@@ -1,0 +1,16 @@
+// The payload word vector of the protocol layer.
+//
+// Words is the fixed-capacity inline array a CONGEST message carries
+// (sim/inline_words.h): push_back/at/iteration like a vector, but trivially
+// copyable and allocation-free, capped at the model's word budget. Payload
+// *readers* take std::span<const std::uint64_t> (Words converts
+// implicitly), so aggregation callbacks never depend on the storage.
+#pragma once
+
+#include "sim/message.h"
+
+namespace kkt::proto {
+
+using Words = sim::InlineWords<sim::kMaxMessageWords>;
+
+}  // namespace kkt::proto

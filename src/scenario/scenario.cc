@@ -1,0 +1,147 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "graph/mst_oracle.h"
+#include "util/rng.h"
+
+namespace kkt::scenario {
+
+const char* family_name(GraphFamily f) noexcept {
+  switch (f) {
+    case GraphFamily::kGnm: return "gnm";
+    case GraphFamily::kGnp: return "gnp";
+    case GraphFamily::kComplete: return "complete";
+    case GraphFamily::kRing: return "ring";
+    case GraphFamily::kGrid: return "grid";
+    case GraphFamily::kBarbell: return "barbell";
+    case GraphFamily::kGeometric: return "geometric";
+    case GraphFamily::kPreferential: return "pa";
+    case GraphFamily::kRandomTree: return "tree";
+    case GraphFamily::kHierarchical: return "hier";
+  }
+  return "?";
+}
+
+std::optional<GraphFamily> family_from_name(std::string_view name) noexcept {
+  for (const GraphFamily f :
+       {GraphFamily::kGnm, GraphFamily::kGnp, GraphFamily::kComplete,
+        GraphFamily::kRing, GraphFamily::kGrid, GraphFamily::kBarbell,
+        GraphFamily::kGeometric, GraphFamily::kPreferential,
+        GraphFamily::kRandomTree, GraphFamily::kHierarchical}) {
+    if (name == family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+const char* net_kind_name(NetKind k) noexcept {
+  switch (k) {
+    case NetKind::kSync: return "sync";
+    case NetKind::kAsync: return "async";
+    case NetKind::kAdversarial: return "adversarial";
+  }
+  return "?";
+}
+
+std::optional<NetKind> net_kind_from_name(std::string_view name) noexcept {
+  for (const NetKind k :
+       {NetKind::kSync, NetKind::kAsync, NetKind::kAdversarial}) {
+    if (name == net_kind_name(k)) return k;
+  }
+  return std::nullopt;
+}
+
+graph::Graph build_graph(const GraphSpec& spec, std::uint64_t seed) {
+  util::Rng rng(seed);
+  switch (spec.family) {
+    case GraphFamily::kGnm: {
+      std::size_t m = spec.m;
+      if (spec.clamp_m) {
+        m = std::min(m, spec.n * (spec.n - 1) / 2);
+        if (spec.n >= 1) m = std::max(m, spec.n - 1);
+      }
+      return graph::random_connected_gnm(spec.n, m, spec.weights, rng);
+    }
+    case GraphFamily::kGnp:
+      return graph::gnp(spec.n, spec.param, spec.weights, rng);
+    case GraphFamily::kComplete:
+      return graph::complete(spec.n, spec.weights, rng);
+    case GraphFamily::kRing:
+      return graph::ring(spec.n, spec.weights, rng);
+    case GraphFamily::kGrid:
+      return graph::grid(spec.n, spec.aux, spec.weights, rng);
+    case GraphFamily::kBarbell:
+      return graph::barbell(spec.n, spec.aux, spec.weights, rng);
+    case GraphFamily::kGeometric:
+      return graph::random_geometric(spec.n, spec.param, spec.weights, rng);
+    case GraphFamily::kPreferential:
+      return graph::preferential_attachment(spec.n, spec.aux, spec.weights,
+                                            rng);
+    case GraphFamily::kRandomTree:
+      return graph::random_tree(spec.n, spec.weights, rng);
+    case GraphFamily::kHierarchical:
+      return graph::hierarchical_complete(static_cast<int>(spec.aux), rng);
+  }
+  assert(false && "unknown graph family");
+  return graph::complete(1, spec.weights, rng);
+}
+
+std::unique_ptr<sim::Network> make_network(const graph::Graph& g,
+                                           const NetSpec& spec,
+                                           std::uint64_t seed) {
+  switch (spec.kind) {
+    case NetKind::kSync:
+      return std::make_unique<sim::SyncNetwork>(g, seed);
+    case NetKind::kAsync:
+      return std::make_unique<sim::AsyncNetwork>(g, seed, spec.async_cfg);
+    case NetKind::kAdversarial:
+      return std::make_unique<sim::AdversarialNetwork>(g, seed,
+                                                       spec.adversarial_cfg);
+  }
+  assert(false && "unknown network kind");
+  return nullptr;
+}
+
+World make_world(std::unique_ptr<graph::Graph> g, const NetSpec& net,
+                 std::uint64_t net_seed) {
+  World w;
+  w.g = std::move(g);
+  w.forest = std::make_unique<graph::MarkedForest>(*w.g);
+  w.net = make_network(*w.g, net, net_seed);
+  return w;
+}
+
+World make_world(const Scenario& sc) {
+  auto g = std::make_unique<graph::Graph>(build_graph(sc.graph, sc.seed));
+  World w = make_world(std::move(g), sc.net,
+                       sc.net_seed.value_or(sc.seed ^ kNetSeedSalt));
+  if (sc.premark_msf) w.mark_msf();
+  return w;
+}
+
+void World::mark_msf() {
+  for (graph::EdgeIdx e : graph::kruskal_msf(*g)) forest->mark_edge(e);
+}
+
+sim::Metrics run_scenario(const Scenario& sc, const ScenarioBody& body) {
+  World w = make_world(sc);
+  body(w);
+  return w.net->metrics();
+}
+
+std::vector<sim::Metrics> run_sweep(Scenario sc, std::uint64_t first_seed,
+                                    int count, const ScenarioBody& body) {
+  std::vector<sim::Metrics> out;
+  out.reserve(static_cast<std::size_t>(count));
+  // A pinned net_seed stays pinned for every run; otherwise make_world
+  // re-derives it from each sweep seed.
+  for (int i = 0; i < count; ++i) {
+    sc.seed = first_seed + static_cast<std::uint64_t>(i);
+    out.push_back(run_scenario(sc, body));
+  }
+  return out;
+}
+
+}  // namespace kkt::scenario

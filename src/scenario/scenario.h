@@ -1,0 +1,193 @@
+// Scenario descriptors: graph family x network kind x seed, one entry point.
+//
+// Every experiment in this repo is the same sandwich: generate a topology,
+// pick a transport, wire a MarkedForest, run an algorithm, read Metrics.
+// The benches, examples and integration tests used to each carry their own
+// copy of that setup; this library owns it instead. A Scenario is a value
+// describing the sandwich; run_scenario() executes one; run_sweep() executes
+// a seed sweep of them.
+//
+//   scenario::Scenario sc;
+//   sc.graph = scenario::GraphSpec::gnm(256, 2048);
+//   sc.net.kind = scenario::NetKind::kAdversarial;
+//   sc.seed = 42;
+//   sim::Metrics cost = scenario::run_scenario(sc, [](scenario::World& w) {
+//     core::build_mst(w.network(), w.trees());
+//   });
+//
+// Seed discipline: the graph is generated from `seed`; the network draws
+// its randomness from `net_seed`, which defaults to seed ^ kNetSeedSalt.
+// Harnesses that predate this library pin their historical net-seed
+// derivations (bench_util, test_util) so fixed-seed model-cost counters
+// stay comparable across PRs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "graph/forest.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "sim/adversarial_network.h"
+#include "sim/async_network.h"
+#include "sim/metrics.h"
+#include "sim/network.h"
+#include "sim/sync_network.h"
+
+namespace kkt::scenario {
+
+// ---------------------------------------------------------------------------
+// Graph descriptors
+// ---------------------------------------------------------------------------
+
+enum class GraphFamily {
+  kGnm,           // connected G(n, m)                 (n, m)
+  kGnp,           // Erdos-Renyi G(n, p)               (n, param = p)
+  kComplete,      // K_n                               (n)
+  kRing,          // cycle                             (n)
+  kGrid,          // n x aux grid                      (n = rows, aux = cols)
+  kBarbell,       // two K_n cliques + aux-edge path   (n = k, aux = path_len)
+  kGeometric,     // random geometric on unit square   (n, param = radius)
+  kPreferential,  // Barabasi-Albert                   (n, aux = attach k)
+  kRandomTree,    // uniform random tree               (n)
+  kHierarchical,  // GHS worst case, n = 2^aux         (aux = levels)
+};
+
+// Family name for descriptors/CLIs ("gnm", "complete", ...).
+const char* family_name(GraphFamily f) noexcept;
+std::optional<GraphFamily> family_from_name(std::string_view name) noexcept;
+
+struct GraphSpec {
+  GraphFamily family = GraphFamily::kGnm;
+  std::size_t n = 64;
+  std::size_t m = 0;      // kGnm: edge count
+  std::size_t aux = 0;    // kGrid: cols; kBarbell: path; kPreferential: k;
+                          // kHierarchical: levels
+  double param = 0.0;     // kGnp: p; kGeometric: radius
+  graph::WeightSpec weights{};
+  // Clamp m into [n-1, n(n-1)/2] instead of asserting -- convenient for
+  // sweeps that push tiny n.
+  bool clamp_m = false;
+
+  static GraphSpec gnm(std::size_t n, std::size_t m,
+                       graph::Weight max_weight = 1u << 20) {
+    GraphSpec s;
+    s.family = GraphFamily::kGnm;
+    s.n = n;
+    s.m = m;
+    s.weights = {max_weight};
+    return s;
+  }
+  static GraphSpec complete(std::size_t n,
+                            graph::Weight max_weight = 1u << 20) {
+    GraphSpec s;
+    s.family = GraphFamily::kComplete;
+    s.n = n;
+    s.weights = {max_weight};
+    return s;
+  }
+  static GraphSpec hierarchical(int levels) {
+    GraphSpec s;
+    s.family = GraphFamily::kHierarchical;
+    s.aux = static_cast<std::size_t>(levels);
+    return s;
+  }
+};
+
+// Generates the described topology from `seed` (one Rng, one pass -- the
+// same bytes the legacy helpers produced for kGnm).
+graph::Graph build_graph(const GraphSpec& spec, std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Network descriptors
+// ---------------------------------------------------------------------------
+
+enum class NetKind { kSync, kAsync, kAdversarial };
+
+const char* net_kind_name(NetKind k) noexcept;
+std::optional<NetKind> net_kind_from_name(std::string_view name) noexcept;
+
+struct NetSpec {
+  NetKind kind = NetKind::kSync;
+  sim::AsyncNetwork::Config async_cfg{};     // used when kind == kAsync
+  sim::AdversarialConfig adversarial_cfg{};  // used when kind == kAdversarial
+
+  static NetSpec sync() { return NetSpec{}; }
+  static NetSpec async(sim::AsyncNetwork::Config cfg = {}) {
+    NetSpec s;
+    s.kind = NetKind::kAsync;
+    s.async_cfg = cfg;
+    return s;
+  }
+  static NetSpec adversarial(sim::AdversarialConfig cfg = {}) {
+    NetSpec s;
+    s.kind = NetKind::kAdversarial;
+    s.adversarial_cfg = cfg;
+    return s;
+  }
+};
+
+std::unique_ptr<sim::Network> make_network(const graph::Graph& g,
+                                           const NetSpec& spec,
+                                           std::uint64_t seed);
+
+// ---------------------------------------------------------------------------
+// Scenario: the full descriptor
+// ---------------------------------------------------------------------------
+
+inline constexpr std::uint64_t kNetSeedSalt = 0x51ed;
+
+struct Scenario {
+  GraphSpec graph;
+  NetSpec net;
+  std::uint64_t seed = 1;
+  // Network randomness; defaults to seed ^ kNetSeedSalt when unset.
+  std::optional<std::uint64_t> net_seed;
+  // Mark the Kruskal minimum spanning forest before the body runs (repair
+  // scenarios start from a correct tree).
+  bool premark_msf = false;
+};
+
+// A graph, its maintained forest, and a network -- heap-held so the
+// aggregate is movable while internal pointers stay valid.
+struct World {
+  std::unique_ptr<graph::Graph> g;
+  std::unique_ptr<graph::MarkedForest> forest;
+  std::unique_ptr<sim::Network> net;
+
+  graph::Graph& graph() { return *g; }
+  graph::MarkedForest& trees() { return *forest; }
+  sim::Network& network() { return *net; }
+
+  // Marks the oracle minimum spanning forest into the forest.
+  void mark_msf();
+};
+
+// Builds the world a Scenario describes.
+World make_world(const Scenario& sc);
+
+// Wraps a custom, pre-built topology (the escape hatch for worlds no
+// generator covers). `net_seed` is used as-is.
+World make_world(std::unique_ptr<graph::Graph> g, const NetSpec& net,
+                 std::uint64_t net_seed);
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+using ScenarioBody = std::function<void(World&)>;
+
+// Builds the world, runs `body`, returns the accumulated model costs.
+sim::Metrics run_scenario(const Scenario& sc, const ScenarioBody& body);
+
+// Seed sweep: `count` runs with seeds first_seed, first_seed+1, ...
+// (net_seed re-derived per seed unless the scenario pins it). Returns the
+// per-seed metrics, in order.
+std::vector<sim::Metrics> run_sweep(Scenario sc, std::uint64_t first_seed,
+                                    int count, const ScenarioBody& body);
+
+}  // namespace kkt::scenario

@@ -3,13 +3,14 @@
 // impromptu-repair algorithms of Theorem 1.2, which the paper states for
 // asynchronous communication.
 //
-// Delivery is a discrete-event simulation: each send draws an integer delay
-// in [1, max_delay] from the network's RNG; events are processed in
-// timestamp order (ties broken by send order, making runs deterministic).
+// A thin RandomDelayPolicy instantiation of Network: each send draws an
+// integer delay in [1, max_delay] from a seed-derived stream; the shared
+// queue delivers in timestamp order (ties broken by send order, making runs
+// deterministic).
 #pragma once
 
 #include <cstdint>
-#include <queue>
+#include <memory>
 
 #include "sim/network.h"
 
@@ -26,29 +27,8 @@ class AsyncNetwork final : public Network {
 
   explicit AsyncNetwork(const graph::Graph& g, std::uint64_t seed = 1,
                         Config cfg = {})
-      : Network(g, seed), cfg_(cfg), delay_rng_(util::mix_seeds(seed, 0xa57)) {}
-
- protected:
-  void enqueue(Envelope env) override;
-  std::uint64_t drain(Protocol& proto, std::uint64_t max_rounds) override;
-
- private:
-  struct Event {
-    std::uint64_t at;
-    std::uint64_t seq;  // tie-break: FIFO among equal timestamps
-    Envelope env;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
-    }
-  };
-
-  Config cfg_;
-  util::Rng delay_rng_;
-  std::uint64_t now_ = 0;
-  std::uint64_t seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+      : Network(g, seed,
+                std::make_unique<RandomDelayPolicy>(seed, cfg.max_delay)) {}
 };
 
 }  // namespace kkt::sim

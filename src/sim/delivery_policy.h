@@ -1,0 +1,153 @@
+// Pluggable transport policies: when does a sent message arrive?
+//
+// The Network owns the mechanism -- a pooled envelope queue drained in
+// (delivery time, send sequence) order -- and delegates the *schedule* to a
+// DeliveryPolicy. The policy sees each send (endpoints and current virtual
+// time) and answers with a delivery timestamp, optionally scheduling
+// adversarial extras (duplicates). This separates cost accounting, which is
+// identical across transports, from schedule shape, which is the experiment
+// variable:
+//
+//   FifoSyncPolicy    -- the synchronous CONGEST model: a global clock;
+//                        every message sent in round r arrives at r+1.
+//   RandomDelayPolicy -- the benign asynchronous model: each message draws
+//                        an independent uniform delay in [1, max_delay].
+//   AdversarialPolicy -- schedule-diversity experiments: per-edge delay
+//                        bounds, bounded reordering jitter, and seeded
+//                        duplicate delivery.
+//
+// All policies are deterministic given their seed, so every schedule a test
+// or bench explores is replayable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "graph/types.h"
+#include "util/rng.h"
+
+namespace kkt::sim {
+
+using graph::NodeId;
+
+class DeliveryPolicy {
+ public:
+  virtual ~DeliveryPolicy() = default;
+
+  // Called at the start of every Network::run, before any on_start sends.
+  virtual void begin_op() {}
+
+  // Delivery timestamp for a message sent along {from, to} at virtual time
+  // `now`. Must be strictly greater than `now` (no zero-latency edges).
+  virtual std::uint64_t delivery_time(NodeId from, NodeId to,
+                                      std::uint64_t now) = 0;
+
+  // Number of adversarial duplicate deliveries of the message just
+  // scheduled (0 for honest transports). Each duplicate gets its own
+  // delivery_time call.
+  virtual unsigned duplicates(NodeId /*from*/, NodeId /*to*/) { return 0; }
+};
+
+// Synchronous CONGEST rounds: arrive exactly one time unit after sending,
+// FIFO within the round (the queue's send-sequence tie-break).
+class FifoSyncPolicy final : public DeliveryPolicy {
+ public:
+  std::uint64_t delivery_time(NodeId, NodeId, std::uint64_t now) override {
+    return now + 1;
+  }
+};
+
+// Benign asynchrony: independent uniform delays in [1, max_delay], drawn
+// from a stream derived from the network seed (one draw per send, in send
+// order, so schedules are reproducible).
+class RandomDelayPolicy final : public DeliveryPolicy {
+ public:
+  RandomDelayPolicy(std::uint64_t seed, std::uint64_t max_delay)
+      : rng_(util::mix_seeds(seed, 0xa57)), max_delay_(max_delay) {}
+
+  std::uint64_t delivery_time(NodeId, NodeId, std::uint64_t now) override {
+    return now + rng_.range(1, max_delay_);
+  }
+
+ private:
+  util::Rng rng_;
+  std::uint64_t max_delay_;
+};
+
+struct AdversarialConfig {
+  // Default per-message delay bounds; individual edges may override via
+  // AdversarialPolicy::set_edge_bounds.
+  std::uint64_t min_delay = 1;
+  std::uint64_t max_delay = 8;
+  // Extra jitter in [0, reorder_window] added on top of the delay: bounds
+  // how far the adversary may reorder messages relative to their send
+  // order. 0 disables the extra reordering.
+  std::uint64_t reorder_window = 4;
+  // Bernoulli(duplicate_num / duplicate_den) chance that a message is
+  // delivered a second time (at an independently drawn timestamp). Off by
+  // default: most protocols assume at-most-once delivery, so duplication
+  // is an opt-in fault-injection experiment.
+  std::uint64_t duplicate_num = 0;
+  std::uint64_t duplicate_den = 1;
+};
+
+// Adversarial (but seeded, hence replayable) schedules: per-edge delay
+// bounds, bounded reordering, duplicate delivery.
+class AdversarialPolicy final : public DeliveryPolicy {
+ public:
+  AdversarialPolicy(std::uint64_t seed, AdversarialConfig cfg = {})
+      : rng_(util::mix_seeds(seed, 0xadf5)), cfg_(cfg) {}
+
+  // Override the delay bounds of the single edge {u, v} (both directions).
+  void set_edge_bounds(NodeId u, NodeId v, std::uint64_t min_delay,
+                       std::uint64_t max_delay) {
+    edge_bounds_[edge_key(u, v)] = {min_delay, max_delay};
+  }
+
+  std::uint64_t delivery_time(NodeId from, NodeId to,
+                              std::uint64_t now) override {
+    std::uint64_t lo = cfg_.min_delay, hi = cfg_.max_delay;
+    if (!edge_bounds_.empty()) {
+      const auto it = edge_bounds_.find(edge_key(from, to));
+      if (it != edge_bounds_.end()) {
+        lo = it->second.min_delay;
+        hi = it->second.max_delay;
+      }
+    }
+    // Zero-delay bounds would break the delivery contract (strictly after
+    // `now`); clamp to the minimum one time unit the model allows.
+    if (lo < 1) lo = 1;
+    if (hi < lo) hi = lo;
+    std::uint64_t at = now + rng_.range(lo, hi);
+    if (cfg_.reorder_window > 0) at += rng_.below(cfg_.reorder_window + 1);
+    return at;
+  }
+
+  unsigned duplicates(NodeId, NodeId) override {
+    if (cfg_.duplicate_num == 0) return 0;
+    return rng_.bernoulli(cfg_.duplicate_num, cfg_.duplicate_den) ? 1 : 0;
+  }
+
+  const AdversarialConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Bounds {
+    std::uint64_t min_delay;
+    std::uint64_t max_delay;
+  };
+
+  static std::uint64_t edge_key(NodeId u, NodeId v) noexcept {
+    if (u > v) {
+      const NodeId t = u;
+      u = v;
+      v = t;
+    }
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  util::Rng rng_;
+  AdversarialConfig cfg_;
+  std::unordered_map<std::uint64_t, Bounds> edge_bounds_;
+};
+
+}  // namespace kkt::sim

@@ -1,0 +1,153 @@
+// Fixed-capacity inline word storage for CONGEST payloads.
+//
+// The CONGEST model caps every message at a constant number of 64-bit words
+// (kMaxMessageWords in sim/message.h), so a heap-backed std::vector buys
+// nothing but an allocation per message. InlineWords stores the words
+// directly in the object: it is trivially copyable, allocation-free, and
+// cheap enough to pass through the transport by value.
+//
+// The interface is the std::vector subset the protocols actually use
+// (push_back/assign/at/operator[]/iteration/size), plus implicit conversion
+// to std::span<const std::uint64_t> so consumers read payloads through the
+// span-based API without caring about the storage.
+//
+// Overflow discipline: appending past the capacity is a model violation.
+// It asserts in debug builds; in release builds the word is dropped and the
+// overflow is remembered so Network::send can count the oversized message
+// (mirroring the old vector-based behaviour of counting, not crashing).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+
+namespace kkt::sim {
+
+template <std::size_t N>
+class InlineWords {
+ public:
+  using value_type = std::uint64_t;
+  using iterator = value_type*;
+  using const_iterator = const value_type*;
+
+  constexpr InlineWords() noexcept = default;
+
+  constexpr InlineWords(std::initializer_list<value_type> init) noexcept {
+    for (value_type v : init) push_back(v);
+  }
+
+  // `count` copies of `v` (the vector fill constructor).
+  constexpr InlineWords(std::size_t count, value_type v) noexcept {
+    assign(count, v);
+  }
+
+  explicit constexpr InlineWords(std::span<const value_type> s) noexcept {
+    assign(s.begin(), s.end());
+  }
+
+  static constexpr std::size_t capacity() noexcept { return N; }
+  constexpr std::size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+  // True iff an append ever exceeded the capacity (release builds only;
+  // debug builds assert at the offending push_back instead).
+  constexpr bool overflowed() const noexcept { return overflowed_; }
+
+  constexpr void clear() noexcept {
+    size_ = 0;
+    overflowed_ = false;
+  }
+
+  constexpr void push_back(value_type v) noexcept {
+    assert(size_ < N && "CONGEST word budget exceeded");
+    if (size_ < N) {
+      words_[size_++] = v;
+    } else {
+      overflowed_ = true;
+    }
+  }
+
+  constexpr void pop_back() noexcept {
+    assert(size_ > 0);
+    --size_;
+  }
+
+  constexpr void assign(std::size_t count, value_type v) noexcept {
+    clear();
+    for (std::size_t i = 0; i < count; ++i) push_back(v);
+  }
+
+  template <typename It>
+  constexpr void assign(It first, It last) noexcept {
+    clear();
+    for (; first != last; ++first) {
+      push_back(static_cast<value_type>(*first));
+    }
+  }
+
+  constexpr void assign(std::span<const value_type> s) noexcept {
+    assign(s.begin(), s.end());
+  }
+
+  constexpr value_type& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return words_[i];
+  }
+  constexpr value_type operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return words_[i];
+  }
+
+  // Bounds-checked access; with no exceptions in the hot path, out-of-range
+  // is a programming error and asserts.
+  constexpr value_type& at(std::size_t i) noexcept {
+    assert(i < size_);
+    return words_[i];
+  }
+  constexpr value_type at(std::size_t i) const noexcept {
+    assert(i < size_);
+    return words_[i];
+  }
+
+  constexpr value_type& front() noexcept { return (*this)[0]; }
+  constexpr value_type front() const noexcept { return (*this)[0]; }
+  constexpr value_type& back() noexcept { return (*this)[size_ - 1]; }
+  constexpr value_type back() const noexcept { return (*this)[size_ - 1]; }
+
+  constexpr value_type* data() noexcept { return words_.data(); }
+  constexpr const value_type* data() const noexcept { return words_.data(); }
+
+  constexpr iterator begin() noexcept { return words_.data(); }
+  constexpr iterator end() noexcept { return words_.data() + size_; }
+  constexpr const_iterator begin() const noexcept { return words_.data(); }
+  constexpr const_iterator end() const noexcept {
+    return words_.data() + size_;
+  }
+  constexpr const_iterator cbegin() const noexcept { return begin(); }
+  constexpr const_iterator cend() const noexcept { return end(); }
+
+  // Payload view: read-side consumers take std::span<const std::uint64_t>.
+  constexpr operator std::span<const value_type>() const noexcept {
+    return {words_.data(), size_};
+  }
+  constexpr std::span<const value_type> span() const noexcept { return *this; }
+
+  friend constexpr bool operator==(const InlineWords& a,
+                                   const InlineWords& b) noexcept {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i) {
+      if (a.words_[i] != b.words_[i]) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<value_type, N> words_{};
+  std::uint8_t size_ = 0;
+  bool overflowed_ = false;
+
+  static_assert(N <= UINT8_MAX, "size_ is a uint8_t");
+};
+
+}  // namespace kkt::sim

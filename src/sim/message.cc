@@ -1,0 +1,41 @@
+#include "sim/message.h"
+
+namespace kkt::sim {
+
+const char* tag_name(Tag t) noexcept {
+  switch (t) {
+    case Tag::kNone: return "none";
+    case Tag::kBroadcast: return "broadcast";
+    case Tag::kEcho: return "echo";
+    case Tag::kElectEcho: return "elect-echo";
+    case Tag::kLeaderAnnounce: return "leader-announce";
+    case Tag::kCycleUnmarkProposal: return "cycle-unmark";
+    case Tag::kAddEdge: return "add-edge";
+    case Tag::kDropEdge: return "drop-edge";
+    case Tag::kSampleRequest: return "sample-request";
+    case Tag::kSampleReply: return "sample-reply";
+    case Tag::kGhsTest: return "ghs-test";
+    case Tag::kGhsAccept: return "ghs-accept";
+    case Tag::kGhsReject: return "ghs-reject";
+    case Tag::kGhsReport: return "ghs-report";
+    case Tag::kGhsConnect: return "ghs-connect";
+    case Tag::kGhsFragment: return "ghs-fragment";
+    case Tag::kFloodExplore: return "flood-explore";
+    case Tag::kFloodAck: return "flood-ack";
+    case Tag::kNaiveProbe: return "naive-probe";
+    case Tag::kNaiveProbeReply: return "naive-probe-reply";
+    case Tag::kTagCount: break;
+  }
+  return "?";
+}
+
+std::optional<Tag> tag_from_name(std::string_view name) noexcept {
+  for (std::uint16_t i = 0; i < static_cast<std::uint16_t>(Tag::kTagCount);
+       ++i) {
+    const Tag t = static_cast<Tag>(i);
+    if (name == tag_name(t)) return t;
+  }
+  return std::nullopt;
+}
+
+}  // namespace kkt::sim

@@ -22,15 +22,26 @@ struct Metrics {
   std::uint64_t broadcast_echoes = 0;
   // Messages that exceeded the CONGEST word budget (0 in a correct run).
   std::uint64_t oversized_messages = 0;
+  // Adversarial duplicate deliveries injected by the transport (these are
+  // schedule faults, not protocol cost, so they are not part of `messages`).
+  std::uint64_t duplicate_deliveries = 0;
   // High-water mark of per-node protocol scratch state, in bits, as
   // reported by protocols (audits the O(log(n+u)) memory claim).
   std::uint64_t peak_node_state_bits = 0;
   // Message count broken down by protocol tag (indices follow sim::Tag).
   std::array<std::uint64_t, static_cast<std::size_t>(Tag::kTagCount)>
       per_tag{};
+  // Payload bits broken down by protocol tag: which protocol spends the
+  // bit budget, not just who sends the most envelopes.
+  std::array<std::uint64_t, static_cast<std::size_t>(Tag::kTagCount)>
+      per_tag_bits{};
 
   std::uint64_t tag_count(Tag t) const {
     return per_tag[static_cast<std::size_t>(t)];
+  }
+
+  std::uint64_t tag_bits(Tag t) const {
+    return per_tag_bits[static_cast<std::size_t>(t)];
   }
 
   void reset() { *this = Metrics{}; }
@@ -41,10 +52,14 @@ struct Metrics {
     rounds += o.rounds;
     broadcast_echoes += o.broadcast_echoes;
     oversized_messages += o.oversized_messages;
+    duplicate_deliveries += o.duplicate_deliveries;
     if (o.peak_node_state_bits > peak_node_state_bits) {
       peak_node_state_bits = o.peak_node_state_bits;
     }
     for (std::size_t i = 0; i < per_tag.size(); ++i) per_tag[i] += o.per_tag[i];
+    for (std::size_t i = 0; i < per_tag_bits.size(); ++i) {
+      per_tag_bits[i] += o.per_tag_bits[i];
+    }
     return *this;
   }
 };

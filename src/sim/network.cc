@@ -1,37 +1,15 @@
 #include "sim/network.h"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
 
 namespace kkt::sim {
 
-const char* tag_name(Tag t) noexcept {
-  switch (t) {
-    case Tag::kNone: return "none";
-    case Tag::kBroadcast: return "broadcast";
-    case Tag::kEcho: return "echo";
-    case Tag::kElectEcho: return "elect-echo";
-    case Tag::kLeaderAnnounce: return "leader-announce";
-    case Tag::kCycleUnmarkProposal: return "cycle-unmark";
-    case Tag::kAddEdge: return "add-edge";
-    case Tag::kDropEdge: return "drop-edge";
-    case Tag::kSampleRequest: return "sample-request";
-    case Tag::kSampleReply: return "sample-reply";
-    case Tag::kGhsTest: return "ghs-test";
-    case Tag::kGhsAccept: return "ghs-accept";
-    case Tag::kGhsReject: return "ghs-reject";
-    case Tag::kGhsReport: return "ghs-report";
-    case Tag::kGhsConnect: return "ghs-connect";
-    case Tag::kGhsFragment: return "ghs-fragment";
-    case Tag::kFloodExplore: return "flood-explore";
-    case Tag::kFloodAck: return "flood-ack";
-    case Tag::kNaiveProbe: return "naive-probe";
-    case Tag::kNaiveProbeReply: return "naive-probe-reply";
-    case Tag::kTagCount: break;
-  }
-  return "?";
-}
-
-Network::Network(const graph::Graph& g, std::uint64_t seed) : graph_(&g) {
+Network::Network(const graph::Graph& g, std::uint64_t seed,
+                 std::unique_ptr<DeliveryPolicy> policy)
+    : graph_(&g), policy_(std::move(policy)) {
+  assert(policy_ != nullptr);
   util::Rng master(seed);
   node_rngs_.reserve(g.node_count());
   for (NodeId v = 0; v < g.node_count(); ++v) {
@@ -39,19 +17,110 @@ Network::Network(const graph::Graph& g, std::uint64_t seed) : graph_(&g) {
   }
 }
 
-void Network::send(NodeId from, NodeId to, Message msg) {
+// --- pooled envelope queue --------------------------------------------------
+//
+// Envelopes live in recycled slots of pool_; free slots cycle through ring_
+// (a circular FIFO) so that slot reuse is uniform. The pending set is a
+// hand-rolled binary heap of (at, seq, slot) entries: its backing vector
+// keeps its capacity across operations, so after warm-up the send/deliver
+// hot path performs zero heap allocations (tests/alloc_test.cc holds this).
+
+std::uint32_t Network::pool_put(const Envelope& env) {
+  if (ring_count_ > 0) {
+    const std::uint32_t slot = ring_[ring_head_];
+    ring_head_ = (ring_head_ + 1) % ring_.size();
+    --ring_count_;
+    pool_[slot] = env;
+    return slot;
+  }
+  // Pool exhausted: grow. The free ring is empty, so it can be resized
+  // without relocating live entries.
+  const auto slot = static_cast<std::uint32_t>(pool_.size());
+  pool_.push_back(env);
+  ring_.push_back(0);  // keep |ring_| == |pool_| so every slot fits
+  ring_head_ = 0;
+  return slot;
+}
+
+void Network::pool_release(std::uint32_t slot) {
+  assert(ring_count_ < ring_.size());
+  ring_[(ring_head_ + ring_count_) % ring_.size()] = slot;
+  ++ring_count_;
+}
+
+void Network::heap_push(Event ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), event_later);
+}
+
+Network::Event Network::heap_pop() {
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), event_later);
+  const Event ev = heap_.back();
+  heap_.pop_back();
+  return ev;
+}
+
+void Network::queue_clear() {
+  heap_.clear();
+  ring_head_ = 0;
+  ring_count_ = ring_.size();
+  std::iota(ring_.begin(), ring_.end(), 0u);
+}
+
+// --- send / run -------------------------------------------------------------
+
+void Network::schedule(const Envelope& env) {
+  const std::uint64_t at = policy_->delivery_time(env.from, env.to, now_);
+  assert(at > now_ && "delivery must take at least one time unit");
+  heap_push(Event{at, seq_++, pool_put(env)});
+}
+
+void Network::send(NodeId from, NodeId to, const Message& msg) {
   assert(active_ != nullptr && "send outside of Network::run");
   assert(from < graph_->node_count() && to < graph_->node_count());
   assert(graph_->find_edge(from, to).has_value() &&
          "message sent along a non-existent edge");
   metrics_.messages += 1;
   metrics_.message_bits += msg.bits();
-  metrics_.per_tag[static_cast<std::size_t>(msg.tag)] += 1;
-  if (msg.words.size() > kMaxMessageWords) {
+  const auto tag_idx = static_cast<std::size_t>(msg.tag);
+  metrics_.per_tag[tag_idx] += 1;
+  metrics_.per_tag_bits[tag_idx] += msg.bits();
+  if (msg.words.overflowed()) {
     ++metrics_.oversized_messages;
     assert(false && "CONGEST message budget exceeded");
   }
-  enqueue(Envelope{from, to, std::move(msg)});
+  const Envelope env{from, to, msg};
+  schedule(env);
+  // Adversarial duplicates: the same bits arrive again at an independently
+  // drawn time. They are transport faults, not protocol cost, so they are
+  // accounted separately from `messages`.
+  for (unsigned d = policy_->duplicates(from, to); d > 0; --d) {
+    ++metrics_.duplicate_deliveries;
+    schedule(env);
+  }
+}
+
+std::uint64_t Network::drain(Protocol& proto, std::uint64_t max_rounds) {
+  const std::uint64_t start = now_;
+  while (!heap_.empty()) {
+    const Event ev = heap_pop();
+    if (ev.at - start > max_rounds) {
+      // Backstop hit: drop undeliverable leftovers so the next operation
+      // starts from a clean transport.
+      queue_clear();
+      now_ = start + max_rounds;
+      break;
+    }
+    now_ = ev.at;
+    // Copy out before delivering: the handler's own sends may reuse the slot.
+    const Envelope env = pool_[ev.slot];
+    pool_release(ev.slot);
+    proto.on_message(*this, env.to, env.from, env.msg);
+  }
+  const std::uint64_t elapsed = now_ - start;
+  now_ = 0;  // virtual clock is per-operation
+  return elapsed;
 }
 
 std::uint64_t Network::run(Protocol& proto,
@@ -59,6 +128,7 @@ std::uint64_t Network::run(Protocol& proto,
                            std::uint64_t max_rounds) {
   assert(active_ == nullptr && "nested Network::run");
   active_ = &proto;
+  policy_->begin_op();
   for (NodeId v : participants) proto.on_start(*this, v);
   const std::uint64_t elapsed = drain(proto, max_rounds);
   active_ = nullptr;

@@ -1,5 +1,4 @@
-// The network abstraction shared by the synchronous and asynchronous
-// simulators.
+// The network: one simulator, pluggable delivery schedules.
 //
 // A Protocol is a distributed algorithm: one object serves all nodes, but
 // every callback is scoped to a single node (`self`), and implementations
@@ -13,13 +12,25 @@
 // fragment-parallel compositions (Boruvka phases) wrap their per-fragment
 // runs in a ParallelPhase so that elapsed time counts as the max over
 // fragments while messages still sum.
+//
+// Transport mechanics are uniform across schedules: send() places the
+// envelope into a pooled queue (slots are recycled through a free ring, so
+// steady-state traffic performs no allocation -- messages themselves are
+// trivially copyable, see sim/message.h) and the DeliveryPolicy assigns the
+// delivery timestamp. drain() delivers in (timestamp, send sequence) order.
+// SyncNetwork / AsyncNetwork / AdversarialNetwork are thin policy
+// instantiations over this one mechanism.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "graph/graph.h"
+#include "sim/delivery_policy.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "util/rng.h"
@@ -42,7 +53,8 @@ class Protocol {
 
 class Network {
  public:
-  explicit Network(const graph::Graph& g, std::uint64_t seed);
+  Network(const graph::Graph& g, std::uint64_t seed,
+          std::unique_ptr<DeliveryPolicy> policy);
   virtual ~Network() = default;
 
   Network(const Network&) = delete;
@@ -50,7 +62,7 @@ class Network {
 
   // Sends msg from `from` to `to`. Precondition: an alive edge {from, to}
   // exists (checked). Counted in Metrics.
-  void send(NodeId from, NodeId to, Message msg);
+  void send(NodeId from, NodeId to, const Message& msg);
 
   // Runs `proto` with the given participants until quiescence; returns the
   // elapsed rounds / virtual time of this operation, which is also added to
@@ -64,6 +76,11 @@ class Network {
   Metrics& metrics() noexcept { return metrics_; }
   const Metrics& metrics() const noexcept { return metrics_; }
 
+  // The delivery schedule in force (e.g. to tighten per-edge bounds on an
+  // AdversarialPolicy before an experiment).
+  DeliveryPolicy& policy() noexcept { return *policy_; }
+  const DeliveryPolicy& policy() const noexcept { return *policy_; }
+
   // Per-node random stream (deterministic given the network seed).
   util::Rng& node_rng(NodeId v) noexcept { return node_rngs_[v]; }
 
@@ -76,22 +93,49 @@ class Network {
 
   static constexpr std::uint64_t kDefaultMaxRounds = 1u << 26;
 
- protected:
+ private:
   struct Envelope {
     NodeId from;
     NodeId to;
     Message msg;
   };
+  static_assert(std::is_trivially_copyable_v<Envelope>);
 
-  // Transport hook: queue the envelope for delivery.
-  virtual void enqueue(Envelope env) = 0;
-  // Transport hook: deliver everything, return elapsed time of the op.
-  virtual std::uint64_t drain(Protocol& proto, std::uint64_t max_rounds) = 0;
+  // One pending delivery: a heap entry pointing at a pooled envelope slot.
+  struct Event {
+    std::uint64_t at;    // delivery timestamp
+    std::uint64_t seq;   // tie-break: FIFO among equal timestamps
+    std::uint32_t slot;  // index into pool_
+  };
+
+  // Schedules one copy of the envelope at the policy-chosen timestamp.
+  void schedule(const Envelope& env);
+  // Delivers everything pending; returns the elapsed virtual time.
+  std::uint64_t drain(Protocol& proto, std::uint64_t max_rounds);
+
+  // --- pooled envelope queue ----------------------------------------------
+  std::uint32_t pool_put(const Envelope& env);
+  void pool_release(std::uint32_t slot);
+  void heap_push(Event ev);
+  Event heap_pop();
+  void queue_clear();
+  static bool event_later(const Event& a, const Event& b) noexcept {
+    return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+  }
 
   const graph::Graph* graph_;
   Metrics metrics_;
   std::vector<util::Rng> node_rngs_;
+  std::unique_ptr<DeliveryPolicy> policy_;
   Protocol* active_ = nullptr;  // protocol being run (sends allowed only then)
+
+  std::vector<Envelope> pool_;        // envelope slots, recycled
+  std::vector<std::uint32_t> ring_;   // circular FIFO of free slot indices
+  std::size_t ring_head_ = 0;         // oldest free slot
+  std::size_t ring_count_ = 0;        // number of free slots
+  std::vector<Event> heap_;           // binary min-heap on (at, seq)
+  std::uint64_t now_ = 0;             // virtual clock, per-operation
+  std::uint64_t seq_ = 0;             // send sequence (monotonic)
 };
 
 // Accounts elapsed time for operations that run conceptually in parallel
@@ -99,22 +143,72 @@ class Network {
 // metrics().rounds advances by the maximum branch duration instead of the
 // sum. Usage:
 //   ParallelPhase phase(net);
-//   for (frag : fragments) { phase.begin_branch(); ...run ops...; phase.end_branch(); }
+//   for (frag : fragments) {
+//     const auto branch = phase.branch();  // RAII: ends at scope exit
+//     ...run ops...
+//   }
 //   phase.finish();
+// A branch left open, or a phase destroyed with begun branches but no
+// finish(), would silently corrupt metrics().rounds -- both are asserted
+// in debug builds.
 class ParallelPhase {
  public:
+  // RAII guard for one branch: rewinds the clock on construction, records
+  // the branch duration on destruction.
+  class BranchScope {
+   public:
+    explicit BranchScope(ParallelPhase& phase) : phase_(&phase) {
+      phase_->begin_branch();
+    }
+    ~BranchScope() {
+      if (phase_ != nullptr) phase_->end_branch();
+    }
+    BranchScope(BranchScope&& o) noexcept : phase_(o.phase_) {
+      o.phase_ = nullptr;
+    }
+    BranchScope(const BranchScope&) = delete;
+    BranchScope& operator=(const BranchScope&) = delete;
+    BranchScope& operator=(BranchScope&&) = delete;
+
+   private:
+    ParallelPhase* phase_;
+  };
+
   explicit ParallelPhase(Network& net)
       : net_(&net), base_rounds_(net.metrics().rounds) {}
 
-  void begin_branch() { net_->metrics().rounds = base_rounds_; }
+  ~ParallelPhase() {
+    assert(!in_branch_ && "ParallelPhase destroyed inside an open branch");
+    assert((finished_ || !branched_) &&
+           "ParallelPhase destroyed with begun branches but no finish()");
+  }
+
+  ParallelPhase(const ParallelPhase&) = delete;
+  ParallelPhase& operator=(const ParallelPhase&) = delete;
+
+  [[nodiscard]] BranchScope branch() { return BranchScope(*this); }
+
+  void begin_branch() {
+    assert(!in_branch_ && "begin_branch inside an open branch");
+    assert(!finished_ && "begin_branch after finish()");
+    in_branch_ = true;
+    branched_ = true;
+    net_->metrics().rounds = base_rounds_;
+  }
 
   void end_branch() {
+    assert(in_branch_ && "end_branch without begin_branch");
+    in_branch_ = false;
     const std::uint64_t used = net_->metrics().rounds - base_rounds_;
     if (used > max_branch_) max_branch_ = used;
   }
 
   // Sets total elapsed time to base + max over branches.
-  void finish() { net_->metrics().rounds = base_rounds_ + max_branch_; }
+  void finish() {
+    assert(!in_branch_ && "finish() inside an open branch");
+    finished_ = true;
+    net_->metrics().rounds = base_rounds_ + max_branch_;
+  }
 
   std::uint64_t max_branch_rounds() const noexcept { return max_branch_; }
 
@@ -122,6 +216,9 @@ class ParallelPhase {
   Network* net_;
   std::uint64_t base_rounds_;
   std::uint64_t max_branch_ = 0;
+  bool in_branch_ = false;
+  bool branched_ = false;
+  bool finished_ = false;
 };
 
 }  // namespace kkt::sim

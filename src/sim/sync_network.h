@@ -1,10 +1,10 @@
 // Synchronous CONGEST network: a global clock; every message sent in round
 // r is delivered at the start of round r+1 (paper, Introduction: "a
 // synchronized network assumes a global clock, and messages are received in
-// one time step").
+// one time step"). A thin FifoSyncPolicy instantiation of Network.
 #pragma once
 
-#include <deque>
+#include <memory>
 
 #include "sim/network.h"
 
@@ -13,15 +13,7 @@ namespace kkt::sim {
 class SyncNetwork final : public Network {
  public:
   explicit SyncNetwork(const graph::Graph& g, std::uint64_t seed = 1)
-      : Network(g, seed) {}
-
- protected:
-  void enqueue(Envelope env) override;
-  std::uint64_t drain(Protocol& proto, std::uint64_t max_rounds) override;
-
- private:
-  std::deque<Envelope> current_;  // deliveries for the upcoming round
-  std::deque<Envelope> next_;     // sends from the round in progress
+      : Network(g, seed, std::make_unique<FifoSyncPolicy>()) {}
 };
 
 }  // namespace kkt::sim

@@ -1,0 +1,186 @@
+// Allocation accounting for the transport hot path.
+//
+// The wire-level contract of the message fabric (sim/inline_words.h,
+// sim/network.cc) is that steady-state traffic performs no heap allocation:
+// messages carry their payload inline, envelopes live in recycled pool
+// slots, and the event heap keeps its capacity across operations. These
+// tests hold that contract by instrumenting global operator new.
+//
+// Discipline: the first run of a workload warms the arenas (pool growth is
+// amortized and expected); the measured run must then allocate nothing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "proto/tree_ops.h"
+#include "sim/adversarial_network.h"
+#include "sim/async_network.h"
+#include "sim/sync_network.h"
+#include "test_util.h"
+
+// Replacing the global allocation functions would fight the sanitizers'
+// own interceptors, so the counting (and the zero-allocation expectations)
+// only run in uninstrumented builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define KKT_ALLOC_COUNTING 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define KKT_ALLOC_COUNTING 0
+#endif
+#endif
+#ifndef KKT_ALLOC_COUNTING
+#define KKT_ALLOC_COUNTING 1
+#endif
+
+namespace {
+
+[[maybe_unused]] std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+#if KKT_ALLOC_COUNTING
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+#define KKT_SKIP_UNLESS_COUNTING() ((void)0)
+#else
+#define KKT_SKIP_UNLESS_COUNTING() \
+  GTEST_SKIP() << "allocation counting disabled under sanitizers"
+#endif
+
+namespace kkt::sim {
+namespace {
+
+using graph::NodeId;
+
+// Ping-pong with a full payload: the worst case for any per-message
+// serialization cost.
+class PingPong final : public Protocol {
+ public:
+  PingPong(NodeId a, NodeId b, int hops) : a_(a), b_(b), hops_(hops) {}
+
+  void on_start(Network& net, NodeId self) override {
+    if (hops_ > 0) net.send(self, self == a_ ? b_ : a_, ball());
+  }
+
+  void on_message(Network& net, NodeId self, NodeId from,
+                  const Message&) override {
+    ++received_;
+    if (received_ < hops_) net.send(self, from, ball());
+  }
+
+  int received() const { return received_; }
+
+ private:
+  static Message ball() {
+    return Message(Tag::kNone, {1, 2, 3, 4, 5, 6, 7, 8});
+  }
+
+  NodeId a_, b_;
+  int hops_;
+  int received_ = 0;
+};
+
+std::unique_ptr<graph::Graph> path_graph(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  auto g = std::make_unique<graph::Graph>(n, rng);
+  for (NodeId v = 0; v + 1 < n; ++v) g->add_edge(v, v + 1, 1);
+  return g;
+}
+
+template <typename Net>
+std::uint64_t allocations_for_thousand_hops(Net& net) {
+  const NodeId participants[] = {0};
+  {
+    PingPong warmup(0, 1, 1000);  // grows pool/heap arenas once
+    net.run(warmup, participants);
+  }
+  const std::uint64_t before = g_allocations.load();
+  PingPong measured(0, 1, 1000);
+  net.run(measured, participants);
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(measured.received(), 1000);
+  return after - before;
+}
+
+TEST(Allocation, SyncSendDeliverIsAllocationFree) {
+  KKT_SKIP_UNLESS_COUNTING();
+  auto g = path_graph(2, 1);
+  SyncNetwork net(*g, 7);
+  EXPECT_EQ(allocations_for_thousand_hops(net), 0u);
+}
+
+TEST(Allocation, AsyncSendDeliverIsAllocationFree) {
+  KKT_SKIP_UNLESS_COUNTING();
+  auto g = path_graph(2, 2);
+  AsyncNetwork net(*g, 7);
+  EXPECT_EQ(allocations_for_thousand_hops(net), 0u);
+}
+
+TEST(Allocation, AdversarialSendDeliverIsAllocationFree) {
+  KKT_SKIP_UNLESS_COUNTING();
+  auto g = path_graph(2, 3);
+  AdversarialNetwork::Config cfg;
+  cfg.max_delay = 16;
+  cfg.reorder_window = 8;
+  AdversarialNetwork net(*g, 7, cfg);
+  EXPECT_EQ(allocations_for_thousand_hops(net), 0u);
+}
+
+TEST(Allocation, MessageIsTriviallyCopyableAndInline) {
+  KKT_SKIP_UNLESS_COUNTING();
+  static_assert(std::is_trivially_copyable_v<Message>);
+  Message m(Tag::kEcho, {1, 2, 3});
+  const std::uint64_t before = g_allocations.load();
+  Message copy = m;       // no heap involved
+  copy.words.push_back(4);
+  Message again = copy;
+  EXPECT_EQ(g_allocations.load(), before);
+  EXPECT_EQ(again.words.size(), 4u);
+}
+
+TEST(Allocation, TreeOpsBroadcastEchoSteadyStateIsAllocationFree) {
+  KKT_SKIP_UNLESS_COUNTING();
+  // The inner loop of FindMin: repeated broadcast-and-echoes over one
+  // TreeOps. After the first op warms the scratch arena and the transport
+  // pool, further ops must not allocate.
+  test::World w = test::make_gnm_world(24, 60, 5);
+  test::mark_msf(w);
+  proto::TreeOps ops(*w.net, graph::TreeView(*w.forest));
+  const graph::Graph& g = ops.graph();
+  const NodeId root = 0;
+
+  const proto::LocalFn local = [&g](NodeId self,
+                                    std::span<const std::uint64_t>) {
+    return proto::Words{g.ext_id(self)};
+  };
+  const proto::CombineFn combine = proto::combine_max();
+
+  (void)ops.broadcast_echo(root, proto::Words{}, local, combine);  // warm
+  const std::uint64_t before = g_allocations.load();
+  const proto::Words result =
+      ops.broadcast_echo(root, proto::Words{}, local, combine);
+  const std::uint64_t delta = g_allocations.load() - before;
+  EXPECT_EQ(delta, 0u);
+  EXPECT_GT(result.at(0), 0u);
+}
+
+}  // namespace
+}  // namespace kkt::sim

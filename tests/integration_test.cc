@@ -8,9 +8,11 @@
 #include "baseline/flood_st.h"
 #include "core/build_mst.h"
 #include "core/build_st.h"
+#include "core/find_min.h"
 #include "core/repair.h"
 #include "core/verify.h"
 #include "graph/mst_oracle.h"
+#include "proto/tree_ops.h"
 #include "test_util.h"
 
 namespace kkt::core {
@@ -185,6 +187,90 @@ TEST(MessageEnvelopes, InsertIsLinearWorstCase) {
     EXPECT_LE(out.messages, 4 * n) << "n=" << n;
   }
 }
+
+// --- schedule diversity ------------------------------------------------
+// The core algorithms must stay exact under every delivery schedule: the
+// synchronous global clock, benign random asynchrony, and the adversarial
+// policy's per-edge-bounded, reordered schedules. One parameterized suite,
+// three transports.
+class ScheduleDiversity : public ::testing::TestWithParam<test::NetKind> {};
+
+TEST_P(ScheduleDiversity, BuildMstIsExact) {
+  World w = test::make_gnm_world(40, 200, 31, GetParam());
+  ASSERT_TRUE(build_mst(*w.net, *w.forest).spanning);
+  EXPECT_TRUE(graph::same_edge_set(w.forest->marked_edges(),
+                                   graph::kruskal_msf(*w.g)));
+  EXPECT_EQ(w.net->metrics().oversized_messages, 0u);
+}
+
+TEST_P(ScheduleDiversity, FindMinReturnsTheLightestCutEdge) {
+  World w = test::make_gnm_world(32, 160, 32, GetParam());
+  test::mark_msf(w);
+  const auto tree = w.forest->marked_edges();
+  const graph::EdgeIdx split = tree[tree.size() / 2];
+  w.forest->clear_edge(split);
+  const NodeId root = w.g->edge(split).u;
+
+  // Oracle: the lightest alive edge crossing the cut (the cleared tree
+  // edge itself is one of the candidates).
+  const auto side = test::side_of(w, root);
+  graph::AugWeight best_aug = 0;
+  graph::EdgeNum best_num = 0;
+  bool any = false;
+  for (graph::EdgeIdx e : w.g->alive_edge_indices()) {
+    const auto& ed = w.g->edge(e);
+    if (side[ed.u] == side[ed.v]) continue;
+    const graph::AugWeight aug = w.g->aug_weight(e);
+    if (!any || aug < best_aug) {
+      any = true;
+      best_aug = aug;
+      best_num = w.g->edge_num(e);
+    }
+  }
+  ASSERT_TRUE(any);
+
+  proto::TreeOps ops(*w.net, graph::TreeView(*w.forest));
+  const FindMinResult res = find_min(ops, root);
+  ASSERT_TRUE(res.found);
+  EXPECT_EQ(res.edge_num, best_num);
+}
+
+TEST_P(ScheduleDiversity, RepairChurnStaysExact) {
+  World w = test::make_gnm_world(28, 110, 33, GetParam());
+  test::mark_msf(w);
+  DynamicForest dyn(*w.g, *w.forest, *w.net, ForestKind::kMst);
+  util::Rng rng(77);
+  for (int i = 0; i < 60; ++i) {
+    const int op = static_cast<int>(rng.below(3));
+    RepairOutcome out;
+    if (op == 0 && w.g->edge_count() > 32) {
+      const auto alive = w.g->alive_edge_indices();
+      out = dyn.delete_edge(alive[rng.below(alive.size())]);
+    } else if (op == 1) {
+      const auto u = static_cast<NodeId>(rng.below(28));
+      const auto v = static_cast<NodeId>(rng.below(28));
+      if (u == v || w.g->find_edge(u, v)) continue;
+      out = dyn.insert_edge(u, v, static_cast<Weight>(1 + rng.below(511)));
+    } else {
+      const auto alive = w.g->alive_edge_indices();
+      out = dyn.change_weight(alive[rng.below(alive.size())],
+                              static_cast<Weight>(1 + rng.below(511)));
+    }
+    ASSERT_NE(out.action, RepairAction::kSearchFailed) << "step " << i;
+    ASSERT_TRUE(graph::same_edge_set(w.forest->marked_edges(),
+                                     graph::kruskal_msf(*w.g)))
+        << "step " << i;
+  }
+  EXPECT_EQ(w.net->metrics().oversized_messages, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ScheduleDiversity,
+    ::testing::Values(test::NetKind::kSync, test::NetKind::kAsync,
+                      test::NetKind::kAdversarial),
+    [](const ::testing::TestParamInfo<test::NetKind>& info) {
+      return std::string(scenario::net_kind_name(info.param));
+    });
 
 TEST(Lifecycle, MixedMstAndStOnTheSameGraph) {
   // Two maintained structures can coexist on separate forests/networks

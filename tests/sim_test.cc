@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "graph/generators.h"
+#include "sim/adversarial_network.h"
 #include "sim/async_network.h"
 #include "sim/sync_network.h"
 #include "test_util.h"
@@ -156,19 +160,196 @@ TEST(Network, NodeRngsAreIndependentStreams) {
   EXPECT_EQ(net2.node_rng(1).next(), b);
 }
 
+TEST(AdversarialNetwork, DeliversEverythingEventually) {
+  auto g = path_graph(2, 14);
+  AdversarialNetwork net(*g, 99);
+  PingPong proto(0, 1, 50);
+  const NodeId participants[] = {0};
+  net.run(proto, participants);
+  EXPECT_EQ(proto.received(), 50);
+  EXPECT_EQ(net.metrics().messages, 50u);
+  EXPECT_GT(net.metrics().rounds, 0u);
+}
+
+TEST(AdversarialNetwork, DeterministicGivenSeed) {
+  auto g = path_graph(2, 15);
+  std::uint64_t rounds[2];
+  for (int i = 0; i < 2; ++i) {
+    AdversarialNetwork net(*g, 4321);
+    PingPong proto(0, 1, 20);
+    const NodeId participants[] = {0};
+    rounds[i] = net.run(proto, participants);
+  }
+  EXPECT_EQ(rounds[0], rounds[1]);
+}
+
+TEST(AdversarialNetwork, PerEdgeDelayBoundsAreHonored) {
+  // Pin the single edge to an exact delay: one hop must take exactly that
+  // long once jitter is disabled.
+  auto g = path_graph(2, 16);
+  AdversarialNetwork::Config cfg;
+  cfg.reorder_window = 0;
+  AdversarialNetwork net(*g, 5, cfg);
+  net.adversary().set_edge_bounds(0, 1, 9, 9);
+  PingPong proto(0, 1, 4);
+  const NodeId participants[] = {0};
+  const std::uint64_t elapsed = net.run(proto, participants);
+  EXPECT_EQ(elapsed, 4 * 9u);
+}
+
+TEST(AdversarialNetwork, SeededDuplicatesAreCountedSeparately) {
+  // A sink that tolerates duplicate delivery (most protocols do not, which
+  // is exactly what this fault-injection knob is for).
+  class Sink final : public Protocol {
+   public:
+    void on_start(Network& net, NodeId self) override {
+      for (int i = 0; i < 100; ++i) net.send(self, 1, Message(Tag::kNone));
+    }
+    void on_message(Network&, NodeId, NodeId, const Message&) override {
+      ++deliveries;
+    }
+    int deliveries = 0;
+  };
+
+  auto g = path_graph(2, 17);
+  AdversarialNetwork::Config cfg;
+  cfg.duplicate_num = 1;
+  cfg.duplicate_den = 1;  // duplicate every message
+  AdversarialNetwork net(*g, 6, cfg);
+  Sink proto;
+  const NodeId participants[] = {0};
+  net.run(proto, participants);
+  EXPECT_EQ(net.metrics().messages, 100u);  // protocol cost is what was sent
+  EXPECT_EQ(net.metrics().duplicate_deliveries, 100u);
+  EXPECT_EQ(proto.deliveries, 200);
+}
+
+TEST(Tag, NameRoundTripCoversEveryEnumerator) {
+  std::set<std::string> seen;
+  for (std::uint16_t i = 0; i < static_cast<std::uint16_t>(Tag::kTagCount);
+       ++i) {
+    const Tag t = static_cast<Tag>(i);
+    const std::string name = tag_name(t);
+    EXPECT_NE(name, "?") << "tag " << i << " has no name";
+    EXPECT_TRUE(seen.insert(name).second)
+        << "duplicate tag name '" << name << "'";
+    const auto back = tag_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, t) << name;
+  }
+  EXPECT_FALSE(tag_from_name("?").has_value());
+  EXPECT_FALSE(tag_from_name("no-such-tag").has_value());
+}
+
+TEST(Metrics, PerTagBitsAccounted) {
+  auto g = path_graph(2, 18);
+  SyncNetwork net(*g, 7);
+
+  class TwoTags final : public Protocol {
+   public:
+    void on_start(Network& net, NodeId self) override {
+      net.send(self, 1, Message(Tag::kBroadcast, {1, 2}));
+      net.send(self, 1, Message(Tag::kEcho, {3}));
+      net.send(self, 1, Message(Tag::kEcho));
+    }
+    void on_message(Network&, NodeId, NodeId, const Message&) override {}
+  } proto;
+
+  const NodeId participants[] = {0};
+  net.run(proto, participants);
+  const Metrics& m = net.metrics();
+  EXPECT_EQ(m.tag_count(Tag::kBroadcast), 1u);
+  EXPECT_EQ(m.tag_bits(Tag::kBroadcast), 16 + 2 * 64u);
+  EXPECT_EQ(m.tag_count(Tag::kEcho), 2u);
+  EXPECT_EQ(m.tag_bits(Tag::kEcho), (16 + 64u) + 16u);
+  EXPECT_EQ(m.message_bits,
+            m.tag_bits(Tag::kBroadcast) + m.tag_bits(Tag::kEcho));
+}
+
+TEST(InlineWords, VectorSubsetBehaviour) {
+  InlineWords<8> w;
+  EXPECT_TRUE(w.empty());
+  w.push_back(5);
+  w.push_back(7);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_EQ(w.at(0), 5u);
+  EXPECT_EQ(w[1], 7u);
+  w[1] = 9;
+  EXPECT_EQ(w.back(), 9u);
+
+  const InlineWords<8> filled(3, 42);
+  EXPECT_EQ(filled.size(), 3u);
+  std::uint64_t sum = 0;
+  for (std::uint64_t v : filled) sum += v;
+  EXPECT_EQ(sum, 3 * 42u);
+
+  InlineWords<8> copy = filled;
+  EXPECT_TRUE(copy == filled);
+  copy.push_back(1);
+  EXPECT_FALSE(copy == filled);
+
+  w.assign(filled.span());
+  EXPECT_TRUE(w == filled);
+
+  const std::span<const std::uint64_t> view = filled;
+  EXPECT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[2], 42u);
+}
+
+TEST(InlineWords, ReleaseOverflowIsRememberedNotStored) {
+#ifdef NDEBUG
+  InlineWords<2> w{1, 2};
+  w.push_back(3);  // over budget: dropped, flagged
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_TRUE(w.overflowed());
+  w.clear();
+  EXPECT_FALSE(w.overflowed());
+#else
+  GTEST_SKIP() << "overflow asserts in debug builds";
+#endif
+}
+
+TEST(ParallelPhase, BranchScopeRecordsMaxOverBranches) {
+  auto g = path_graph(3, 19);
+  SyncNetwork net(*g, 7);
+  ParallelPhase phase(net);
+  {
+    const auto branch = phase.branch();
+    PingPong proto(0, 1, 2);
+    const NodeId participants[] = {0};
+    net.run(proto, participants);
+  }
+  {
+    const auto branch = phase.branch();
+    PingPong proto(1, 2, 6);
+    const NodeId participants[] = {1};
+    net.run(proto, participants);
+  }
+  phase.finish();
+  EXPECT_EQ(net.metrics().messages, 8u);
+  EXPECT_EQ(net.metrics().rounds, 6u);
+  EXPECT_EQ(phase.max_branch_rounds(), 6u);
+}
+
 TEST(Metrics, PlusEquals) {
   Metrics a;
   a.messages = 10;
   a.rounds = 5;
   a.peak_node_state_bits = 100;
+  a.per_tag_bits[1] = 64;
+  a.duplicate_deliveries = 2;
   Metrics b;
   b.messages = 3;
   b.rounds = 2;
   b.peak_node_state_bits = 50;
+  b.per_tag_bits[1] = 16;
+  b.duplicate_deliveries = 1;
   a += b;
   EXPECT_EQ(a.messages, 13u);
   EXPECT_EQ(a.rounds, 7u);
   EXPECT_EQ(a.peak_node_state_bits, 100u);  // high-water mark, not a sum
+  EXPECT_EQ(a.per_tag_bits[1], 80u);
+  EXPECT_EQ(a.duplicate_deliveries, 3u);
   a.reset();
   EXPECT_EQ(a.messages, 0u);
 }
