@@ -1,0 +1,126 @@
+// Experiment E14 (Theorem 1.2 under sustained churn): soak the impromptu
+// repair engine with trace-driven dynamic workloads.
+//
+// Each soak run churns a G(n, m) world with thousands of generated updates
+// through a MaintenanceSession, checking the maintained forest against the
+// centralized Kruskal oracle after EVERY op (`oracle_failures` must read 0).
+// Per-op cost percentiles (p50/p99 messages, bits, rounds) are the new
+// observables: Theorem 1.2's o(m) repair claim says they stay bounded by
+// ~n polylog n -- far below m -- however long the churn runs and whichever
+// workload shape drives it. Counters are model costs, deterministic at a
+// fixed seed under the FIFO-sync policy.
+//
+// BM_Churn_SweepThreads runs the same multi-world sweep at 1, 2 and 8
+// executor threads: the model-cost counters must agree bit-for-bit across
+// the three rows (the SweepExecutor determinism contract), while wall time
+// drops with core count (the JSON artifact records both).
+#include "bench_util.h"
+#include "workload/churn.h"
+
+namespace kkt::bench {
+namespace {
+
+scenario::Scenario churn_scenario(workload::WorkloadKind kind, int ops,
+                                  std::size_t n, std::size_t m) {
+  scenario::Scenario sc = gnm_scenario(n, m, 2015, NetKind::kSync);
+  sc.workload = workload::WorkloadSpec::of(kind, ops);
+  return sc;
+}
+
+void report_churn(benchmark::State& state,
+                  const workload::CostStats& messages,
+                  const workload::CostStats& bits,
+                  const workload::CostStats& rounds,
+                  const sim::Metrics& total, std::size_t ops,
+                  std::size_t oracle_failures) {
+  state.counters["ops"] = static_cast<double>(ops);
+  state.counters["oracle_failures"] = static_cast<double>(oracle_failures);
+  state.counters["messages"] = static_cast<double>(total.messages);
+  state.counters["bits"] = static_cast<double>(total.message_bits);
+  state.counters["rounds"] = static_cast<double>(total.rounds);
+  state.counters["msgs_min"] = static_cast<double>(messages.min);
+  state.counters["msgs_p50"] = static_cast<double>(messages.p50);
+  state.counters["msgs_mean"] = messages.mean;
+  state.counters["msgs_p99"] = static_cast<double>(messages.p99);
+  state.counters["msgs_max"] = static_cast<double>(messages.max);
+  state.counters["bits_p50"] = static_cast<double>(bits.p50);
+  state.counters["bits_p99"] = static_cast<double>(bits.p99);
+  state.counters["rounds_p50"] = static_cast<double>(rounds.p50);
+  state.counters["rounds_p99"] = static_cast<double>(rounds.p99);
+}
+
+// One long-lived session per workload shape, every op oracle-checked.
+void BM_Churn_Soak(benchmark::State& state, workload::WorkloadKind kind) {
+  const std::size_t n = 128, m = 1024;
+  constexpr int kOps = 600;
+  for (auto _ : state) {
+    const workload::ChurnResult res =
+        workload::run_churn(churn_scenario(kind, kOps, n, m));
+    report_churn(state, res.messages, res.bits, res.rounds, res.total,
+                 res.records.size(), res.oracle_failures);
+    // Per-action histogram: how the repair engine answered this workload.
+    std::size_t actions[static_cast<std::size_t>(
+        core::RepairAction::kActionCount)] = {};
+    for (const core::OpRecord& rec : res.records) {
+      ++actions[static_cast<std::size_t>(rec.action)];
+    }
+    for (std::size_t a = 0; a < std::size(actions); ++a) {
+      if (actions[a] == 0) continue;
+      state.counters[std::string("act.") +
+                     core::action_name(static_cast<core::RepairAction>(a))] =
+          static_cast<double>(actions[a]);
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_Churn_Soak, uniform, workload::WorkloadKind::kUniform)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Churn_Soak, hotspot, workload::WorkloadKind::kHotspot)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Churn_Soak, bridges, workload::WorkloadKind::kBridges)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_Churn_Soak, growth, workload::WorkloadKind::kGrowth)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// Density independence under churn (the o(m) point, E4's story extended to
+// whole workloads): per-op p99 stays flat while m grows 8x.
+void BM_Churn_DensitySweep(benchmark::State& state) {
+  const std::size_t n = 128;
+  const auto m = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const workload::ChurnResult res = workload::run_churn(
+        churn_scenario(workload::WorkloadKind::kUniform, 200, n, m));
+    report_churn(state, res.messages, res.bits, res.rounds, res.total,
+                 res.records.size(), res.oracle_failures);
+    state.counters["m"] = static_cast<double>(m);
+  }
+}
+BENCHMARK(BM_Churn_DensitySweep)
+    ->Arg(512)->Arg(1024)->Arg(2048)->Arg(4096)
+    ->Iterations(1)->Unit(benchmark::kMillisecond);
+
+// The parallel sweep: identical model-cost rows at every thread count,
+// wall-clock scaling with cores.
+void BM_Churn_SweepThreads(benchmark::State& state) {
+  const auto threads = static_cast<int>(state.range(0));
+  scenario::Scenario sc =
+      churn_scenario(workload::WorkloadKind::kUniform, 150, 96, 768);
+  workload::ChurnOptions opt;
+  opt.threads = threads;
+  for (auto _ : state) {
+    const workload::ChurnSweepResult res =
+        workload::run_churn_sweep(sc, 100, 8, opt);
+    report_churn(state, res.messages, res.bits, res.rounds, res.total,
+                 res.ops, res.oracle_failures);
+    state.counters["threads"] = static_cast<double>(threads);
+    state.counters["worlds"] = static_cast<double>(res.runs.size());
+  }
+}
+BENCHMARK(BM_Churn_SweepThreads)
+    ->Arg(1)->Arg(2)->Arg(8)
+    ->Iterations(1)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();
+
+}  // namespace
+}  // namespace kkt::bench
+
+BENCHMARK_MAIN();

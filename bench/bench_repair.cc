@@ -7,10 +7,20 @@
 // All compared against the naive probe-everything baseline (Theta(m_T)).
 #include "baseline/naive_repair.h"
 #include "bench_util.h"
-#include "core/repair.h"
+#include "core/session.h"
 
 namespace kkt::bench {
 namespace {
+
+// Repair ops run through a MaintenanceSession (the churn engine's dispatch
+// path), addressed by endpoints exactly as a recorded trace would. The
+// naive-baseline variants keep driving the forest directly -- their point
+// is the search cost, not the dispatch.
+core::OpRecord apply_op(World& w, core::ForestKind kind,
+                        const core::UpdateOp& op) {
+  core::MaintenanceSession session(*w.g, *w.forest, *w.net, kind);
+  return session.apply(op);
+}
 
 // Average over several random tree-edge deletions (each on a fresh world so
 // the forest stays the exact MSF).
@@ -39,8 +49,8 @@ void BM_Repair_DeleteMst(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t m = 8 * n;
   run_delete_sweep(state, n, m, [](World& w, graph::EdgeIdx victim) {
-    core::DynamicForest dyn(*w.g, *w.forest, *w.net, core::ForestKind::kMst);
-    dyn.delete_edge(victim);
+    const graph::Edge& ed = w.g->edge(victim);
+    apply_op(w, core::ForestKind::kMst, core::UpdateOp::erase(ed.u, ed.v));
   });
 }
 BENCHMARK(BM_Repair_DeleteMst)
@@ -51,8 +61,8 @@ void BM_Repair_DeleteSt(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const std::size_t m = 8 * n;
   run_delete_sweep(state, n, m, [](World& w, graph::EdgeIdx victim) {
-    core::DynamicForest dyn(*w.g, *w.forest, *w.net, core::ForestKind::kSt);
-    dyn.delete_edge(victim);
+    const graph::Edge& ed = w.g->edge(victim);
+    apply_op(w, core::ForestKind::kSt, core::UpdateOp::erase(ed.u, ed.v));
   });
 }
 BENCHMARK(BM_Repair_DeleteSt)
@@ -86,8 +96,8 @@ void BM_Repair_DeleteMst_DensitySweep(benchmark::State& state) {
   const std::size_t n = 256;
   const auto m = static_cast<std::size_t>(state.range(0));
   run_delete_sweep(state, n, m, [](World& w, graph::EdgeIdx victim) {
-    core::DynamicForest dyn(*w.g, *w.forest, *w.net, core::ForestKind::kMst);
-    dyn.delete_edge(victim);
+    const graph::Edge& ed = w.g->edge(victim);
+    apply_op(w, core::ForestKind::kMst, core::UpdateOp::erase(ed.u, ed.v));
   });
 }
 BENCHMARK(BM_Repair_DeleteMst_DensitySweep)
@@ -172,15 +182,14 @@ void BM_Repair_Insert(benchmark::State& state) {
     for (int i = 0; i < kOps; ++i) {
       World w = make_gnm_world(n, m, 80 + i, NetKind::kAsync);
       mark_msf(w);
-      core::DynamicForest dyn(*w.g, *w.forest, *w.net,
-                              core::ForestKind::kMst);
       util::Rng pick(90 + i);
       graph::NodeId u = 0, v = 0;
       do {
         u = static_cast<graph::NodeId>(pick.below(n));
         v = static_cast<graph::NodeId>(pick.below(n));
       } while (u == v || w.g->find_edge(u, v).has_value());
-      dyn.insert_edge(u, v, 1 + pick.below(1u << 20));
+      apply_op(w, core::ForestKind::kMst,
+               core::UpdateOp::insert(u, v, 1 + pick.below(1u << 20)));
       total += w.net->metrics();
     }
     total.messages /= kOps;

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify on the strict `dev` preset, the full
-# test suite under Address+UB sanitizers, and the bench-baseline snapshot
-# that seeds the perf trajectory. Usage:
+# test suite under Address+UB sanitizers, the parallel-sweep tests under
+# ThreadSanitizer, and the bench-baseline snapshots that seed the perf
+# trajectory. Usage:
 #
-#   ci/run.sh           # dev + asan stages
+#   ci/run.sh           # dev + asan + tsan stages
 #   ci/run.sh dev       # strict-warnings build + tests only
 #   ci/run.sh asan      # sanitizer build + tests only
-#   ci/run.sh bench     # release build + bench smoke, archives BENCH_messages.json
+#   ci/run.sh tsan      # ThreadSanitizer build + `parallel`-labeled tests
+#   ci/run.sh bench     # release build + bench smoke, archives
+#                       # BENCH_messages.json and BENCH_churn.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -40,14 +43,24 @@ run_bench_baseline() {
     --benchmark_out="$out" \
     --benchmark_out_format=json
   echo "==> archived $out"
+  # Churn soak counters: per-op percentiles + oracle exactness + the
+  # thread-count determinism rows (identical model costs at 1/2/8 threads).
+  local churn_out="${BENCH_CHURN_OUT:-BENCH_churn.json}"
+  ./build/release/bench/bench_churn \
+    --benchmark_min_time=0.01 \
+    --benchmark_format=json \
+    --benchmark_out="$churn_out" \
+    --benchmark_out_format=json
+  echo "==> archived $churn_out"
 }
 
 case "$stage" in
   dev)   run_preset dev ;;
   asan)  run_preset asan ;;
+  tsan)  run_preset tsan ;;
   bench) run_bench_baseline ;;
-  all)   run_preset dev; run_preset asan ;;
-  *)     echo "usage: $0 [dev|asan|bench|all]" >&2; exit 2 ;;
+  all)   run_preset dev; run_preset asan; run_preset tsan ;;
+  *)     echo "usage: $0 [dev|asan|tsan|bench|all]" >&2; exit 2 ;;
 esac
 
 echo "==> OK [$stage]"

@@ -1,42 +1,24 @@
 // Dynamic network: impromptu MST repair under churn (Theorem 1.2).
 //
-//   $ ./dynamic_network [n] [m] [ops] [seed]
+//   $ ./dynamic_network [n] [m] [ops] [seed] [workload]
 //
 // Maintains an exact MST of an evolving network on an *asynchronous*
-// simulator: random link failures, new links and weight changes arrive one
-// at a time; each is repaired with the paper's impromptu algorithms
-// (FindMin for deletions, the path-max query for insertions) and the result
-// is checked against a centralized oracle after every update. Per-update
-// message costs are printed next to what the naive probe-all-edges strategy
-// would have paid.
+// simulator. The update stream is a workload::UpdateTrace (uniform churn by
+// default; pass uniform|hotspot|bridges|growth) applied op-by-op through a
+// core::MaintenanceSession, which logs each repair action and its metric
+// delta and checks the forest against a centralized oracle after every
+// update. Per-update message costs are printed next to what the naive
+// probe-all-edges strategy would have paid for the same deletion.
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 
 #include "baseline/naive_repair.h"
-#include "core/repair.h"
-#include "graph/generators.h"
+#include "core/session.h"
 #include "graph/mst_oracle.h"
 #include "scenario/scenario.h"
 #include "sim/async_network.h"
-
-namespace {
-
-const char* action_name(kkt::core::RepairAction a) {
-  using A = kkt::core::RepairAction;
-  switch (a) {
-    case A::kNone: return "no-op";
-    case A::kReplaced: return "replaced";
-    case A::kBridge: return "bridge";
-    case A::kMergedTrees: return "merged";
-    case A::kSwapped: return "swapped";
-    case A::kRejected: return "rejected";
-    case A::kSearchFailed: return "SEARCH-FAILED";
-  }
-  return "?";
-}
-
-}  // namespace
+#include "workload/generators.h"
 
 int main(int argc, char** argv) {
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 96;
@@ -46,6 +28,12 @@ int main(int argc, char** argv) {
   const int ops = argc > 3 ? std::atoi(argv[3]) : 24;
   const std::uint64_t seed =
       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 7;
+  const auto workload_kind =
+      kkt::workload::workload_from_name(argc > 5 ? argv[5] : "uniform");
+  if (!workload_kind) {
+    std::fprintf(stderr, "unknown workload '%s'\n", argv[5]);
+    return 2;
+  }
 
   // The maintained world as a scenario: G(n, m) on an asynchronous
   // transport, starting from the oracle MST (any correct starting tree
@@ -61,74 +49,77 @@ int main(int argc, char** argv) {
   kkt::graph::Graph& g = world.graph();
   kkt::graph::MarkedForest& forest = world.trees();
 
-  kkt::util::Rng rng(kkt::util::mix_seeds(seed, 0xc4a4));
-  kkt::core::DynamicForest dyn(g, forest, world.network(),
-                               kkt::core::ForestKind::kMst);
+  // The update stream as a reproducible artifact (the same spec/seed pair
+  // always yields this trace; see `kkt_lab churn --record` for files).
+  const kkt::workload::UpdateTrace trace = kkt::workload::generate_trace(
+      g, kkt::workload::WorkloadSpec::of(*workload_kind, ops),
+      kkt::util::mix_seeds(seed, kkt::workload::kTraceSeedSalt));
+
+  kkt::core::SessionOptions session_options;
+  session_options.check_oracle = true;
+  kkt::core::MaintenanceSession session(g, forest, world.network(),
+                                        kkt::core::ForestKind::kMst,
+                                        session_options);
+
   std::printf("maintaining the MST of a %zu-node, %zu-edge network; "
-              "%d updates\n\n", n, m, ops);
+              "%zu updates (%s workload)\n\n",
+              n, m, trace.ops.size(), trace.name.c_str());
   std::printf("%-4s %-26s %-10s %9s %9s %9s\n", "#", "update", "action",
               "msgs", "naive", "rounds");
 
   std::uint64_t total = 0, total_naive = 0;
-  int failures = 0;
-  for (int i = 0; i < ops; ++i) {
+  int op_index = 0;
+  for (const kkt::core::UpdateOp& op : trace.ops) {
+    ++op_index;
     char desc[64];
-    kkt::core::RepairOutcome out;
     std::uint64_t naive_cost = 0;
-    const int kind = static_cast<int>(rng.below(3));
-    if (kind == 0 && g.edge_count() > n) {  // delete a random link
-      const auto alive = g.alive_edge_indices();
-      const auto victim = alive[rng.below(alive.size())];
-      const auto ed = g.edge(victim);
-      const bool tree_edge = forest.is_marked(victim);
-      std::snprintf(desc, sizeof desc, "delete {%u,%u}%s", ed.u, ed.v,
-                    tree_edge ? " (tree)" : "");
-      // What the naive strategy would pay for the same cut (measured on a
-      // scratch copy of the world so costs do not mix).
-      if (tree_edge) {
-        kkt::graph::Graph g2 = g;
-        kkt::sim::AsyncNetwork net2(g2, seed + 100 + i);
-        g2.remove_edge(victim);
-        kkt::graph::MarkedForest f2(g2);
-        for (auto e : forest.marked_edges()) {
-          if (e != victim) f2.mark_edge(e);
+    const auto edge = g.find_edge(op.u, op.v);
+    switch (op.kind) {
+      case kkt::core::OpKind::kDelete: {
+        const bool tree_edge = edge && forest.is_marked(*edge);
+        std::snprintf(desc, sizeof desc, "delete {%u,%u}%s", op.u, op.v,
+                      tree_edge ? " (tree)" : "");
+        // What the naive strategy would pay for the same cut (measured on a
+        // scratch copy of the world so costs do not mix).
+        if (tree_edge) {
+          kkt::graph::Graph g2 = g;
+          kkt::sim::AsyncNetwork net2(
+              g2, seed + 100 + static_cast<std::uint64_t>(op_index));
+          g2.remove_edge(*edge);
+          kkt::graph::MarkedForest f2(g2);
+          for (auto e : forest.marked_edges()) {
+            if (e != *edge) f2.mark_edge(e);
+          }
+          kkt::baseline::naive_find_min_cut(net2, f2, op.u);
+          naive_cost = net2.metrics().messages;
         }
-        kkt::baseline::naive_find_min_cut(net2, f2, ed.u);
-        naive_cost = net2.metrics().messages;
+        break;
       }
-      out = dyn.delete_edge(victim);
-    } else if (kind == 1) {  // add a random link
-      kkt::graph::NodeId u = 0, v = 0;
-      do {
-        u = static_cast<kkt::graph::NodeId>(rng.below(n));
-        v = static_cast<kkt::graph::NodeId>(rng.below(n));
-      } while (u == v || g.find_edge(u, v).has_value());
-      const auto w = static_cast<kkt::graph::Weight>(1 + rng.below(1u << 20));
-      std::snprintf(desc, sizeof desc, "insert {%u,%u} w=%" PRIu64, u, v, w);
-      out = dyn.insert_edge(u, v, w);
-    } else {  // re-weigh a random link
-      const auto alive = g.alive_edge_indices();
-      const auto target = alive[rng.below(alive.size())];
-      const auto w = static_cast<kkt::graph::Weight>(1 + rng.below(1u << 20));
-      std::snprintf(desc, sizeof desc, "reweigh {%u,%u} -> %" PRIu64,
-                    g.edge(target).u, g.edge(target).v, w);
-      out = dyn.change_weight(target, w);
+      case kkt::core::OpKind::kInsert:
+        std::snprintf(desc, sizeof desc, "insert {%u,%u} w=%" PRIu64, op.u,
+                      op.v, op.weight);
+        break;
+      case kkt::core::OpKind::kWeightChange:
+        std::snprintf(desc, sizeof desc, "reweigh {%u,%u} -> %" PRIu64, op.u,
+                      op.v, op.weight);
+        break;
     }
 
-    const bool ok = kkt::graph::same_edge_set(forest.marked_edges(),
-                                              kkt::graph::kruskal_msf(g));
-    if (!ok) ++failures;
-    total += out.messages;
+    const kkt::core::OpRecord& rec = session.apply(op);
+    total += rec.cost.messages;
     total_naive += naive_cost;
-    std::printf("%-4d %-26s %-10s %9" PRIu64 " %9" PRIu64 " %9" PRIu64 "%s\n",
-                i + 1, desc, action_name(out.action), out.messages,
-                naive_cost, out.rounds, ok ? "" : "  << MST MISMATCH");
+    std::printf("%-4d %-26s %-10s %9" PRIu64 " %9" PRIu64 " %9" PRIu64
+                "%s\n",
+                op_index, desc, kkt::core::action_name(rec.action),
+                rec.cost.messages, naive_cost, rec.cost.rounds,
+                rec.oracle_ok ? "" : "  << MST MISMATCH");
   }
 
   std::printf("\ntotal impromptu messages: %" PRIu64
               " (naive deletions alone: %" PRIu64 ")\n", total, total_naive);
   std::printf("exactness: %s\n",
-              failures == 0 ? "MST matched the oracle after every update"
-                            : "MISMATCHES detected");
-  return failures == 0 ? 0 : 1;
+              session.oracle_failures() == 0
+                  ? "MST matched the oracle after every update"
+                  : "MISMATCHES detected");
+  return session.oracle_failures() == 0 ? 0 : 1;
 }

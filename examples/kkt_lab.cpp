@@ -10,6 +10,10 @@
 //   kkt_lab repair --kind mst|st --ops K
 //                 (--in FILE | --family ...) [--seed S]
 //                 [--net sync|async|adversarial] [--csv]
+//   kkt_lab churn --workload uniform|hotspot|bridges|growth --ops K
+//                 [--family ... as above] [--kind mst|st] [--seed S]
+//                 [--net sync|async|adversarial] [--sweep N] [--threads T]
+//                 [--trace FILE] [--record FILE] [--csv]
 //
 // Graph families and transports are the kkt_scenario descriptors, so every
 // experiment expressible here is also expressible as a Scenario value in
@@ -17,7 +21,12 @@
 // verify_spanning plus the centralized oracle for MSTs) and prints the
 // communication bill with a per-message-tag breakdown (messages and bits).
 // `repair` applies a random update stream with impromptu repair and prints
-// per-op costs. `--csv` emits machine-readable rows for plotting.
+// per-op costs. `churn` drives the trace-based engine (src/workload): a
+// seeded workload generator or a replayed `--trace` file runs through a
+// MaintenanceSession with per-op oracle checks and percentile cost stats;
+// `--record` writes the generated trace as a reproducible artifact and
+// `--sweep N --threads T` churns N worlds on a thread pool (aggregates are
+// bit-identical for every T). `--csv` emits machine-readable rows.
 #include <cinttypes>
 #include <cstdio>
 #include <map>
@@ -33,6 +42,8 @@
 #include "graph/io.h"
 #include "graph/mst_oracle.h"
 #include "scenario/scenario.h"
+#include "workload/churn.h"
+#include "workload/trace.h"
 
 namespace {
 
@@ -64,16 +75,7 @@ Args parse(int argc, char** argv, int from) {
   return a;
 }
 
-kkt::graph::Graph make_graph(const Args& a, kkt::util::Rng& rng) {
-  if (a.has("in")) {
-    std::string err;
-    auto g = kkt::graph::read_graph_file(a.get("in", ""), rng, &err);
-    if (!g) {
-      std::fprintf(stderr, "error: %s\n", err.c_str());
-      std::exit(2);
-    }
-    return *std::move(g);
-  }
+kkt::scenario::GraphSpec make_graph_spec(const Args& a) {
   const std::string family = a.get("family", "gnm");
   const auto fam = kkt::scenario::family_from_name(family);
   if (!fam) {
@@ -96,7 +98,20 @@ kkt::graph::Graph make_graph(const Args& a, kkt::util::Rng& rng) {
     case F::kGeometric: spec.param = 0.5; break;
     default: break;
   }
-  return kkt::scenario::build_graph(spec, a.num("seed", 1));
+  return spec;
+}
+
+kkt::graph::Graph make_graph(const Args& a, kkt::util::Rng& rng) {
+  if (a.has("in")) {
+    std::string err;
+    auto g = kkt::graph::read_graph_file(a.get("in", ""), rng, &err);
+    if (!g) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      std::exit(2);
+    }
+    return *std::move(g);
+  }
+  return kkt::scenario::build_graph(make_graph_spec(a), a.num("seed", 1));
 }
 
 kkt::scenario::NetSpec make_net_spec(const Args& a,
@@ -249,12 +264,149 @@ int cmd_repair(const Args& a) {
   return bad == 0 ? 0 : 1;
 }
 
+void print_cost_stats(const char* what, const kkt::workload::CostStats& s) {
+  std::printf("  %-8s min=%" PRIu64 " p50=%" PRIu64 " mean=%.1f p99=%" PRIu64
+              " max=%" PRIu64 " total=%" PRIu64 "\n",
+              what, s.min, s.p50, s.mean, s.p99, s.max, s.total);
+}
+
+int cmd_churn(const Args& a) {
+  const std::uint64_t seed = a.num("seed", 1);
+  const bool csv = a.has("csv");
+
+  if (a.has("in")) {
+    // Churn regenerates the world from (family, seed) -- per sweep seed and
+    // on trace replay -- so file-loaded topologies are not supported yet.
+    std::fprintf(stderr,
+                 "error: churn builds its world from --family/--seed; "
+                 "--in FILE is not supported\n");
+    return 2;
+  }
+
+  kkt::scenario::Scenario sc;
+  sc.graph = make_graph_spec(a);
+  sc.net = make_net_spec(a, kkt::scenario::NetKind::kAsync);
+  sc.seed = seed;
+
+  const std::string workload = a.get("workload", "uniform");
+  const auto kind = kkt::workload::workload_from_name(workload);
+  if (!kind) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n", workload.c_str());
+    return 2;
+  }
+  kkt::workload::WorkloadSpec spec = kkt::workload::WorkloadSpec::of(
+      *kind, static_cast<int>(a.num("ops", 64)));
+  spec.max_weight = a.num("maxw", 1u << 20);
+  sc.workload = spec;
+
+  kkt::workload::ChurnOptions opt;
+  opt.kind = a.get("kind", "mst") == "mst" ? kkt::core::ForestKind::kMst
+                                           : kkt::core::ForestKind::kSt;
+  opt.threads = static_cast<int>(a.num("threads", 1));
+
+  // Sweep mode: churn `sweep` worlds (seeds seed, seed+1, ...) on the
+  // SweepExecutor pool; aggregates are bit-identical for every --threads.
+  const int sweep = static_cast<int>(a.num("sweep", 0));
+  if (sweep > 0) {
+    if (a.has("trace") || a.has("record")) {
+      std::fprintf(stderr,
+                   "error: --trace/--record apply to single runs, not "
+                   "--sweep (each sweep world generates its own trace)\n");
+      return 2;
+    }
+    const auto res = kkt::workload::run_churn_sweep(sc, seed, sweep, opt);
+    if (csv) {
+      for (int i = 0; i < sweep; ++i) {
+        const auto& run = res.runs[static_cast<std::size_t>(i)];
+        std::printf("seed%" PRIu64 ",%zu,%" PRIu64 ",%" PRIu64 ",%zu\n",
+                    seed + static_cast<std::uint64_t>(i), run.records.size(),
+                    run.total.messages, run.total.rounds,
+                    run.oracle_failures);
+      }
+      return res.oracle_failures == 0 ? 0 : 1;
+    }
+    std::printf("%s churn sweep: %d worlds x %zu ops on %d thread(s)\n",
+                workload.c_str(), sweep,
+                res.ops / static_cast<std::size_t>(sweep), opt.threads);
+    std::printf("total: %" PRIu64 " messages, %" PRIu64 " bits, %" PRIu64
+                " rounds; per-op distributions:\n",
+                res.total.messages, res.total.message_bits, res.total.rounds);
+    print_cost_stats("msgs", res.messages);
+    print_cost_stats("bits", res.bits);
+    print_cost_stats("rounds", res.rounds);
+    std::printf("exactness: %s\n",
+                res.oracle_failures == 0 ? "oracle matched after every op"
+                                         : "MISMATCHES detected");
+    return res.oracle_failures == 0 ? 0 : 1;
+  }
+
+  // Single run, optionally replaying / recording a trace artifact.
+  std::optional<kkt::workload::UpdateTrace> replay;
+  if (a.has("trace")) {
+    std::string err;
+    replay = kkt::workload::read_trace_file(a.get("trace", ""), &err);
+    if (!replay) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      return 2;
+    }
+  }
+  const auto res = kkt::workload::run_churn(
+      sc, opt, replay ? &*replay : nullptr);
+  if (a.has("record")) {
+    const std::string out = a.get("record", "");
+    if (!kkt::workload::write_trace_file(out, res.trace)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    // stderr: keeps --csv stdout machine-readable.
+    std::fprintf(stderr, "recorded %zu-op trace to %s (digest %016" PRIx64
+                 ")\n",
+                 res.trace.ops.size(), out.c_str(),
+                 kkt::workload::trace_digest(res.trace));
+  }
+  if (csv) {
+    for (std::size_t i = 0; i < res.records.size(); ++i) {
+      const auto& rec = res.records[i];
+      std::printf("op%zu,%s,%s,%" PRIu64 ",%" PRIu64 ",%d\n", i,
+                  kkt::core::op_kind_name(rec.op.kind),
+                  kkt::core::action_name(rec.action), rec.cost.messages,
+                  rec.cost.rounds, rec.oracle_ok ? 1 : 0);
+    }
+    return res.oracle_failures == 0 ? 0 : 1;
+  }
+  std::printf("%s churn: %zu ops on n=%zu (trace digest %016" PRIx64 ")\n",
+              res.trace.name.c_str(), res.records.size(), sc.graph.n,
+              kkt::workload::trace_digest(res.trace));
+  std::size_t actions[static_cast<std::size_t>(
+      kkt::core::RepairAction::kActionCount)] = {};
+  for (const auto& rec : res.records) {
+    ++actions[static_cast<std::size_t>(rec.action)];
+  }
+  std::printf("actions:");
+  for (std::size_t i = 0; i < std::size(actions); ++i) {
+    if (actions[i] != 0) {
+      std::printf(" %s=%zu",
+                  kkt::core::action_name(
+                      static_cast<kkt::core::RepairAction>(i)),
+                  actions[i]);
+    }
+  }
+  std::printf("\nper-op distributions:\n");
+  print_cost_stats("msgs", res.messages);
+  print_cost_stats("bits", res.bits);
+  print_cost_stats("rounds", res.rounds);
+  std::printf("exactness: %s\n",
+              res.oracle_failures == 0 ? "oracle matched after every op"
+                                       : "MISMATCHES detected");
+  return res.oracle_failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: kkt_lab gen|build|repair [--flags]\n"
+                 "usage: kkt_lab gen|build|repair|churn [--flags]\n"
                  "see the header comment of examples/kkt_lab.cpp\n");
     return 2;
   }
@@ -263,6 +415,7 @@ int main(int argc, char** argv) {
   if (cmd == "gen") return cmd_gen(a);
   if (cmd == "build") return cmd_build(a);
   if (cmd == "repair") return cmd_repair(a);
+  if (cmd == "churn") return cmd_churn(a);
   std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
   return 2;
 }

@@ -41,22 +41,46 @@ class CrossMark final : public sim::Protocol {
 
 // Snapshot of the cost counters, for per-operation deltas.
 struct CostProbe {
-  explicit CostProbe(const sim::Metrics& m)
-      : messages(m.messages), rounds(m.rounds), bes(m.broadcast_echoes) {}
+  explicit CostProbe(const sim::Metrics& m) : before(m) {}
   void settle(const sim::Metrics& m, RepairOutcome& out) const {
-    out.messages = m.messages - messages;
-    out.rounds = m.rounds - rounds;
-    out.broadcast_echoes = m.broadcast_echoes - bes;
+    const sim::Metrics delta = m - before;
+    out.messages = delta.messages;
+    out.rounds = delta.rounds;
+    out.broadcast_echoes = delta.broadcast_echoes;
   }
   void settle_basic(const sim::Metrics& m, std::uint64_t& out_messages,
                     std::uint64_t& out_rounds) const {
-    out_messages = m.messages - messages;
-    out_rounds = m.rounds - rounds;
+    const sim::Metrics delta = m - before;
+    out_messages = delta.messages;
+    out_rounds = delta.rounds;
   }
-  std::uint64_t messages, rounds, bes;
+  sim::Metrics before;
 };
 
 }  // namespace
+
+const char* action_name(RepairAction a) noexcept {
+  switch (a) {
+    case RepairAction::kNone: return "no-op";
+    case RepairAction::kReplaced: return "replaced";
+    case RepairAction::kBridge: return "bridge";
+    case RepairAction::kMergedTrees: return "merged";
+    case RepairAction::kSwapped: return "swapped";
+    case RepairAction::kRejected: return "rejected";
+    case RepairAction::kSearchFailed: return "search-failed";
+    case RepairAction::kActionCount: break;
+  }
+  return "?";
+}
+
+std::optional<RepairAction> action_from_name(std::string_view name) noexcept {
+  for (int a = 0; a < static_cast<int>(RepairAction::kActionCount); ++a) {
+    if (name == action_name(static_cast<RepairAction>(a))) {
+      return static_cast<RepairAction>(a);
+    }
+  }
+  return std::nullopt;
+}
 
 NodeId DynamicForest::smaller_ext_endpoint(EdgeIdx e) const {
   const graph::Edge& ed = graph_->edge(e);

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "core/find_any.h"
 #include "core/find_min.h"
@@ -49,7 +50,13 @@ enum class RepairAction {
   kSwapped,       // inserted/lightened edge displaced a heavier tree edge
   kRejected,      // inserted/changed edge does not enter the forest
   kSearchFailed,  // Monte Carlo search exhausted its budget (w.h.p. absent)
+  kActionCount,   // sentinel: number of actions (per-action histograms)
 };
+
+// Action name for logs/CLIs ("replaced", "bridge", ...), with the usual
+// round trip for descriptor parsing.
+const char* action_name(RepairAction a) noexcept;
+std::optional<RepairAction> action_from_name(std::string_view name) noexcept;
 
 struct RepairOutcome {
   RepairAction action = RepairAction::kNone;

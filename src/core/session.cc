@@ -1,0 +1,108 @@
+#include "core/session.h"
+
+#include "graph/mst_oracle.h"
+
+namespace kkt::core {
+
+const char* op_kind_name(OpKind k) noexcept {
+  switch (k) {
+    case OpKind::kInsert: return "insert";
+    case OpKind::kDelete: return "delete";
+    case OpKind::kWeightChange: return "reweigh";
+  }
+  return "?";
+}
+
+std::optional<OpKind> op_kind_from_name(std::string_view name) noexcept {
+  for (int k = 0; k < kOpKindCount; ++k) {
+    if (name == op_kind_name(static_cast<OpKind>(k))) {
+      return static_cast<OpKind>(k);
+    }
+  }
+  return std::nullopt;
+}
+
+MaintenanceSession::MaintenanceSession(graph::Graph& g,
+                                       graph::MarkedForest& forest,
+                                       sim::Network& net, ForestKind kind,
+                                       SessionOptions options)
+    : graph_(&g),
+      forest_(&forest),
+      net_(&net),
+      kind_(kind),
+      options_(options),
+      dyn_(g, forest, net, kind),
+      start_(net.metrics()) {}
+
+bool MaintenanceSession::oracle_consistent() const {
+  if (!forest_->properly_marked()) return false;
+  if (kind_ == ForestKind::kMst) {
+    return graph::same_edge_set(forest_->marked_edges(),
+                                graph::kruskal_msf(*graph_));
+  }
+  return forest_->is_spanning_forest();
+}
+
+const OpRecord& MaintenanceSession::apply(const UpdateOp& op) {
+  OpRecord rec;
+  rec.op = op;
+  const sim::Metrics before = net_->metrics();
+  const std::size_t n = graph_->node_count();
+
+  const bool endpoints_ok = op.u < n && op.v < n && op.u != op.v;
+  switch (op.kind) {
+    case OpKind::kInsert: {
+      if (endpoints_ok && !graph_->find_edge(op.u, op.v).has_value()) {
+        const RepairOutcome out = dyn_.insert_edge(op.u, op.v, op.weight);
+        rec.applied = true;
+        rec.action = out.action;
+        rec.edge = out.edge;
+      }
+      break;
+    }
+    case OpKind::kDelete: {
+      if (endpoints_ok) {
+        if (const auto e = graph_->find_edge(op.u, op.v)) {
+          const RepairOutcome out = dyn_.delete_edge(*e);
+          rec.applied = true;
+          rec.action = out.action;
+          rec.edge = out.edge;
+        }
+      }
+      break;
+    }
+    case OpKind::kWeightChange: {
+      if (endpoints_ok) {
+        if (const auto e = graph_->find_edge(op.u, op.v)) {
+          const RepairOutcome out = dyn_.change_weight(*e, op.weight);
+          rec.applied = true;
+          rec.action = out.action;
+          rec.edge = out.edge;
+        }
+      }
+      break;
+    }
+  }
+
+  rec.cost = net_->metrics() - before;
+  if (options_.check_oracle) {
+    rec.oracle_ok = oracle_consistent();
+    if (!rec.oracle_ok) ++oracle_failures_;
+  }
+  ++ops_applied_;
+
+  if (options_.keep_log) {
+    log_.push_back(std::move(rec));
+    return log_.back();
+  }
+  last_ = std::move(rec);
+  return last_;
+}
+
+std::size_t MaintenanceSession::apply_all(std::span<const UpdateOp> ops) {
+  const std::size_t failures_before = oracle_failures_;
+  for (const UpdateOp& op : ops) apply(op);
+  return oracle_failures_ - failures_before;
+}
+
+}  // namespace kkt::core

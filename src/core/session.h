@@ -1,0 +1,133 @@
+// A long-lived maintenance session: the paper's dynamic-network setting as
+// an object (Theorem 1.2, "impromptu" repair under churn).
+//
+// The repo's harnesses used to hand-roll the same loop -- pick an update,
+// call the matching DynamicForest method, subtract metric snapshots, compare
+// against the centralized oracle. MaintenanceSession owns that loop: it
+// holds the repair dispatch for one world, applies typed UpdateOps one at a
+// time, and logs a per-op record (action taken, full sim::Metrics delta,
+// optional oracle verdict). The workload layer (src/workload) generates and
+// replays streams of UpdateOps against it.
+//
+// UpdateOp names edges by their endpoints, not by EdgeIdx: endpoint pairs
+// are stable across record/replay (a trace file is a reproducible artifact),
+// while edge indices depend on the mutation history of a particular Graph
+// instance. Ops that do not resolve against the current graph (replay drift:
+// deleting a missing edge, inserting a duplicate) are recorded with
+// `applied == false` and cost nothing.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/repair.h"
+#include "sim/metrics.h"
+
+namespace kkt::core {
+
+enum class OpKind { kInsert, kDelete, kWeightChange };
+
+inline constexpr int kOpKindCount = 3;
+
+// Op-kind name for trace files/CLIs ("insert", "delete", "reweigh").
+const char* op_kind_name(OpKind k) noexcept;
+std::optional<OpKind> op_kind_from_name(std::string_view name) noexcept;
+
+struct UpdateOp {
+  OpKind kind = OpKind::kInsert;
+  graph::NodeId u = 0;
+  graph::NodeId v = 0;
+  // Insert: the new edge's weight. WeightChange: the new weight. Unused for
+  // Delete.
+  graph::Weight weight = 0;
+
+  static UpdateOp insert(graph::NodeId u, graph::NodeId v, graph::Weight w) {
+    return {OpKind::kInsert, u, v, w};
+  }
+  static UpdateOp erase(graph::NodeId u, graph::NodeId v) {
+    return {OpKind::kDelete, u, v, 0};
+  }
+  static UpdateOp reweigh(graph::NodeId u, graph::NodeId v, graph::Weight w) {
+    return {OpKind::kWeightChange, u, v, w};
+  }
+
+  friend bool operator==(const UpdateOp&, const UpdateOp&) = default;
+};
+
+struct SessionOptions {
+  // Compare the maintained forest against the centralized oracle after
+  // every op (exact MSF for kMst, spanning forest for kSt).
+  bool check_oracle = false;
+  // Retain every per-op record in log(). With keep_log == false only the
+  // most recent record is kept (soaks that only want aggregates).
+  bool keep_log = true;
+};
+
+// What one applied op did and what it cost.
+struct OpRecord {
+  UpdateOp op;
+  // False when the op did not resolve against the current graph (replay
+  // drift); such records carry zero cost and RepairAction::kNone.
+  bool applied = false;
+  RepairAction action = RepairAction::kNone;
+  // Replacement / displaced edge, when applicable.
+  std::optional<graph::EdgeNum> edge;
+  // Full metric delta of this op (messages, bits, rounds, per-tag maps).
+  sim::Metrics cost;
+  // Oracle verdict (always true when check_oracle is off).
+  bool oracle_ok = true;
+};
+
+class MaintenanceSession {
+ public:
+  MaintenanceSession(graph::Graph& g, graph::MarkedForest& forest,
+                     sim::Network& net, ForestKind kind,
+                     SessionOptions options = {});
+
+  // Applies one update and returns its record. The reference is valid only
+  // until the next apply() call (the log's storage may move as it grows);
+  // copy the record or read log() afterwards to keep history.
+  const OpRecord& apply(const UpdateOp& op);
+
+  // Applies a whole stream; returns the number of oracle failures observed
+  // during it (0 unless check_oracle is set).
+  std::size_t apply_all(std::span<const UpdateOp> ops);
+
+  // The per-op records (empty when keep_log is false).
+  const std::vector<OpRecord>& log() const noexcept { return log_; }
+
+  // Moves the log out (e.g. into a result struct once the session is done);
+  // the session's log restarts empty.
+  std::vector<OpRecord> take_log() noexcept { return std::move(log_); }
+
+  std::size_t ops_applied() const noexcept { return ops_applied_; }
+  std::size_t oracle_failures() const noexcept { return oracle_failures_; }
+
+  // Everything the network spent since this session started.
+  sim::Metrics total_cost() const { return net_->metrics() - start_; }
+
+  // The underlying repair dispatch (tuning knobs, batch deletions).
+  DynamicForest& dispatch() noexcept { return dyn_; }
+  ForestKind kind() const noexcept { return kind_; }
+
+  // Oracle consistency of the current forest (what check_oracle asserts).
+  bool oracle_consistent() const;
+
+ private:
+  graph::Graph* graph_;
+  graph::MarkedForest* forest_;
+  sim::Network* net_;
+  ForestKind kind_;
+  SessionOptions options_;
+  DynamicForest dyn_;
+  sim::Metrics start_;
+  std::vector<OpRecord> log_;
+  OpRecord last_;  // used when keep_log is false
+  std::size_t ops_applied_ = 0;
+  std::size_t oracle_failures_ = 0;
+};
+
+}  // namespace kkt::core

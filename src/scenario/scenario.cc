@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "graph/mst_oracle.h"
+#include "scenario/sweep.h"
 #include "util/rng.h"
 
 namespace kkt::scenario {
@@ -132,16 +133,17 @@ sim::Metrics run_scenario(const Scenario& sc, const ScenarioBody& body) {
 }
 
 std::vector<sim::Metrics> run_sweep(Scenario sc, std::uint64_t first_seed,
-                                    int count, const ScenarioBody& body) {
-  std::vector<sim::Metrics> out;
-  out.reserve(static_cast<std::size_t>(count));
+                                    int count, const ScenarioBody& body,
+                                    int threads) {
   // A pinned net_seed stays pinned for every run; otherwise make_world
-  // re-derives it from each sweep seed.
-  for (int i = 0; i < count; ++i) {
-    sc.seed = first_seed + static_cast<std::uint64_t>(i);
-    out.push_back(run_scenario(sc, body));
-  }
-  return out;
+  // re-derives it from each sweep seed. Each job copies the scenario, so
+  // concurrent runs never share a descriptor.
+  const SweepExecutor executor(threads);
+  return executor.map(count, [&sc, first_seed, &body](int i) {
+    Scenario run = sc;
+    run.seed = first_seed + static_cast<std::uint64_t>(i);
+    return run_scenario(run, body);
+  });
 }
 
 }  // namespace kkt::scenario

@@ -37,6 +37,7 @@
 #include "sim/metrics.h"
 #include "sim/network.h"
 #include "sim/sync_network.h"
+#include "workload/spec.h"
 
 namespace kkt::scenario {
 
@@ -150,6 +151,10 @@ struct Scenario {
   // Mark the Kruskal minimum spanning forest before the body runs (repair
   // scenarios start from a correct tree).
   bool premark_msf = false;
+  // Optional dynamic-workload descriptor: churn harnesses
+  // (workload::run_churn) generate an update trace from it; run_scenario
+  // ignores it. The trace seed derives from `seed` (see workload/churn.h).
+  std::optional<workload::WorkloadSpec> workload;
 };
 
 // A graph, its maintained forest, and a network -- heap-held so the
@@ -186,8 +191,13 @@ sim::Metrics run_scenario(const Scenario& sc, const ScenarioBody& body);
 
 // Seed sweep: `count` runs with seeds first_seed, first_seed+1, ...
 // (net_seed re-derived per seed unless the scenario pins it). Returns the
-// per-seed metrics, in order.
+// per-seed metrics, in order. With threads > 1 the runs execute on a
+// SweepExecutor pool (see sweep.h); each run owns its world, results land
+// in seed order, so the returned vector -- and any aggregate computed from
+// it -- is bit-identical for every thread count. `body` must then be safe
+// to invoke concurrently.
 std::vector<sim::Metrics> run_sweep(Scenario sc, std::uint64_t first_seed,
-                                    int count, const ScenarioBody& body);
+                                    int count, const ScenarioBody& body,
+                                    int threads = 1);
 
 }  // namespace kkt::scenario

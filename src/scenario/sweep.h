@@ -1,0 +1,82 @@
+// SweepExecutor: a thread pool for embarrassingly parallel seed sweeps.
+//
+// Every sweep in this repo is a map over an index domain -- job i builds its
+// own world from seed first_seed + i and runs to completion with no shared
+// mutable state. The executor exploits that: workers claim indices from an
+// atomic counter (work stealing, so stragglers do not serialize the tail)
+// and write each result into slot i of the output vector. Aggregation over
+// the slot-ordered vector is therefore BIT-IDENTICAL regardless of thread
+// count or OS scheduling: determinism comes from the partition by index,
+// never from the schedule.
+//
+// The simulator itself is single-threaded per world; parallelism here is
+// across worlds only. Jobs must not touch shared mutable state (the library
+// keeps none -- all randomness flows through per-world Rng instances).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace kkt::scenario {
+
+class SweepExecutor {
+ public:
+  // threads <= 0 selects the hardware concurrency.
+  explicit SweepExecutor(int threads = 0)
+      : threads_(threads > 0
+                     ? threads
+                     : static_cast<int>(std::max(
+                           1u, std::thread::hardware_concurrency()))) {}
+
+  int threads() const noexcept { return threads_; }
+
+  // Runs fn(0), ..., fn(count - 1) on at most threads() workers and returns
+  // the results ordered by index. Fn must be safe to invoke concurrently;
+  // its result type must be default-constructible and movable. The first
+  // exception thrown by a job is rethrown here after all workers join.
+  template <typename Fn>
+  auto map(int count, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, int>> {
+    using R = std::invoke_result_t<Fn&, int>;
+    std::vector<R> out(static_cast<std::size_t>(count > 0 ? count : 0));
+    if (count <= 0) return out;
+
+    const int workers = std::min(threads_, count);
+    if (workers <= 1) {
+      for (int i = 0; i < count; ++i) out[static_cast<std::size_t>(i)] = fn(i);
+      return out;
+    }
+
+    std::atomic<int> next{0};
+    std::vector<std::exception_ptr> errors(
+        static_cast<std::size_t>(workers));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back([&, t] {
+        try {
+          for (int i = next.fetch_add(1, std::memory_order_relaxed);
+               i < count; i = next.fetch_add(1, std::memory_order_relaxed)) {
+            out[static_cast<std::size_t>(i)] = fn(i);
+          }
+        } catch (...) {
+          errors[static_cast<std::size_t>(t)] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& th : pool) th.join();
+    for (const std::exception_ptr& e : errors) {
+      if (e) std::rethrow_exception(e);
+    }
+    return out;
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace kkt::scenario

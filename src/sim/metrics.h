@@ -62,6 +62,32 @@ struct Metrics {
     }
     return *this;
   }
+
+  // Snapshot delta: the cost accrued between two observations of the same
+  // network (per-operation accounting). Monotone counters subtract,
+  // including the per-tag maps; `peak_node_state_bits` is a high-water mark,
+  // not a counter, so the delta carries the later snapshot's value.
+  // Precondition: `before` was observed no later than *this.
+  Metrics operator-(const Metrics& before) const {
+    Metrics d;
+    d.messages = messages - before.messages;
+    d.message_bits = message_bits - before.message_bits;
+    d.rounds = rounds - before.rounds;
+    d.broadcast_echoes = broadcast_echoes - before.broadcast_echoes;
+    d.oversized_messages = oversized_messages - before.oversized_messages;
+    d.duplicate_deliveries =
+        duplicate_deliveries - before.duplicate_deliveries;
+    d.peak_node_state_bits = peak_node_state_bits;
+    for (std::size_t i = 0; i < per_tag.size(); ++i) {
+      d.per_tag[i] = per_tag[i] - before.per_tag[i];
+    }
+    for (std::size_t i = 0; i < per_tag_bits.size(); ++i) {
+      d.per_tag_bits[i] = per_tag_bits[i] - before.per_tag_bits[i];
+    }
+    return d;
+  }
+
+  friend bool operator==(const Metrics&, const Metrics&) = default;
 };
 
 }  // namespace kkt::sim

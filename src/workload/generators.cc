@@ -1,0 +1,143 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/mst_oracle.h"
+#include "util/rng.h"
+
+namespace kkt::workload {
+namespace {
+
+using graph::EdgeIdx;
+using graph::NodeId;
+using graph::Weight;
+
+// Relative op-kind frequencies (delete : insert : reweigh) per workload.
+struct Mix {
+  unsigned del, ins, rew;
+  unsigned total() const noexcept { return del + ins + rew; }
+};
+
+Mix mix_of(WorkloadKind k) noexcept {
+  switch (k) {
+    case WorkloadKind::kUniform: return {1, 1, 1};
+    case WorkloadKind::kHotspot: return {1, 1, 1};
+    // The adversary spends its budget cutting tree edges; inserts backfill
+    // so the supply of edges never dries up mid-trace.
+    case WorkloadKind::kBridges: return {3, 2, 1};
+    case WorkloadKind::kGrowth: return {1, 8, 1};
+  }
+  return {1, 1, 1};
+}
+
+// A random alive edge incident to the hot set (kNoEdge if none found).
+EdgeIdx pick_hot_edge(const graph::Graph& g,
+                      const std::vector<NodeId>& hot, util::Rng& rng) {
+  for (int tries = 0; tries < 8; ++tries) {
+    const NodeId h = hot[rng.below(hot.size())];
+    const auto& inc = g.incident(h);
+    if (!inc.empty()) return inc[rng.below(inc.size())].edge;
+  }
+  return graph::kNoEdge;
+}
+
+}  // namespace
+
+UpdateTrace generate_trace(const graph::Graph& start, const WorkloadSpec& spec,
+                           std::uint64_t seed) {
+  UpdateTrace t;
+  t.name = workload_name(spec.kind);
+  t.seed = seed;
+  t.ops.reserve(static_cast<std::size_t>(spec.ops > 0 ? spec.ops : 0));
+
+  util::Rng rng(seed);
+  graph::Graph model = start;  // evolves with the emitted ops
+  const std::size_t n = model.node_count();
+  if (n < 2) return t;
+
+  // Hot set: a random ~hotspot_fraction of the nodes (at least 2). Ops of
+  // the hotspot workload land on it with probability 9/10.
+  std::vector<NodeId> hot;
+  if (spec.kind == WorkloadKind::kHotspot) {
+    std::vector<NodeId> order(n);
+    std::iota(order.begin(), order.end(), NodeId{0});
+    for (std::size_t i = n - 1; i > 0; --i) {
+      std::swap(order[i], order[rng.below(i + 1)]);
+    }
+    const auto want = static_cast<std::size_t>(
+        spec.hotspot_fraction * static_cast<double>(n));
+    hot.assign(order.begin(),
+               order.begin() +
+                   static_cast<std::ptrdiff_t>(std::clamp<std::size_t>(
+                       want, 2, n)));
+  }
+
+  const Mix mix = mix_of(spec.kind);
+  const auto draw_weight = [&rng, &spec]() -> Weight {
+    return 1 + rng.below(spec.max_weight);
+  };
+  const auto pick_node = [&]() -> NodeId {
+    if (!hot.empty() && rng.bernoulli(9, 10)) {
+      return hot[rng.below(hot.size())];
+    }
+    return static_cast<NodeId>(rng.below(n));
+  };
+
+  for (int i = 0; i < spec.ops; ++i) {
+    // Draw an op kind from the mix; fall through to another draw when the
+    // model cannot support it (no alive edges / graph saturated).
+    bool emitted = false;
+    for (int attempt = 0; attempt < 8 && !emitted; ++attempt) {
+      const std::uint64_t r = rng.below(mix.total());
+      if (r < mix.del) {
+        if (model.edge_count() == 0) continue;
+        EdgeIdx victim = graph::kNoEdge;
+        if (spec.kind == WorkloadKind::kBridges) {
+          // Adversarial: always cut a current-MSF tree edge, forcing a
+          // FindMin/FindAny repair (or a bridge certificate) every time.
+          const auto msf = graph::kruskal_msf(model);
+          if (!msf.empty()) victim = msf[rng.below(msf.size())];
+        } else if (!hot.empty()) {
+          victim = pick_hot_edge(model, hot, rng);
+        }
+        if (victim == graph::kNoEdge) {
+          const auto alive = model.alive_edge_indices();
+          victim = alive[rng.below(alive.size())];
+        }
+        const graph::Edge& ed = model.edge(victim);
+        t.ops.push_back(core::UpdateOp::erase(ed.u, ed.v));
+        model.remove_edge(victim);
+        emitted = true;
+      } else if (r < mix.del + mix.ins) {
+        for (int tries = 0; tries < 64 && !emitted; ++tries) {
+          const NodeId u = pick_node();
+          const NodeId v = pick_node();
+          if (u == v || model.find_edge(u, v).has_value()) continue;
+          const Weight w = draw_weight();
+          t.ops.push_back(core::UpdateOp::insert(u, v, w));
+          model.add_edge(u, v, w);
+          emitted = true;
+        }
+      } else {
+        if (model.edge_count() == 0) continue;
+        EdgeIdx target = graph::kNoEdge;
+        if (!hot.empty()) target = pick_hot_edge(model, hot, rng);
+        if (target == graph::kNoEdge) {
+          const auto alive = model.alive_edge_indices();
+          target = alive[rng.below(alive.size())];
+        }
+        const Weight w = draw_weight();
+        const graph::Edge& ed = model.edge(target);
+        t.ops.push_back(core::UpdateOp::reweigh(ed.u, ed.v, w));
+        model.set_weight(target, w);
+        emitted = true;
+      }
+    }
+    // All kinds infeasible (empty saturated model): trace ends short.
+    if (!emitted) break;
+  }
+  return t;
+}
+
+}  // namespace kkt::workload

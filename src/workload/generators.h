@@ -1,0 +1,26 @@
+// Seeded workload generators: WorkloadSpec + graph + seed -> UpdateTrace.
+//
+// A generator evolves a private model copy of the starting graph while it
+// emits ops, so every op in the trace is valid at its position in the
+// stream (deletes name alive edges, inserts name non-edges). Replaying the
+// trace through a MaintenanceSession built on the same starting graph
+// therefore applies every op. Fully deterministic given (graph, spec, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "workload/spec.h"
+#include "workload/trace.h"
+
+namespace kkt::workload {
+
+// Conventional trace-seed derivation from a scenario seed:
+// util::mix_seeds(scenario_seed, kTraceSeedSalt). (The salt is the
+// historical op-stream salt of examples/dynamic_network.cpp.)
+inline constexpr std::uint64_t kTraceSeedSalt = 0xc4a4;
+
+UpdateTrace generate_trace(const graph::Graph& start, const WorkloadSpec& spec,
+                           std::uint64_t seed);
+
+}  // namespace kkt::workload

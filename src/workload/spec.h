@@ -1,0 +1,63 @@
+// Workload descriptors: which dynamic update stream to churn a world with.
+//
+// Header-only on purpose: the scenario layer embeds a WorkloadSpec in its
+// Scenario descriptor without linking the workload library (which sits
+// above scenario and core in the module graph). The spec is pure data --
+// generators that turn it into a concrete UpdateTrace live in
+// workload/generators.h.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace kkt::workload {
+
+enum class WorkloadKind {
+  kUniform,  // ops drawn uniformly over nodes / alive edges
+  kHotspot,  // ops concentrated on a small random node set
+  kBridges,  // adversarial: deletions always cut current-MSF tree edges
+  kGrowth,   // insert-heavy: the network mostly gains links
+};
+
+inline constexpr int kWorkloadKindCount = 4;
+
+// Workload name for descriptors/CLIs ("uniform", "hotspot", ...).
+inline const char* workload_name(WorkloadKind k) noexcept {
+  switch (k) {
+    case WorkloadKind::kUniform: return "uniform";
+    case WorkloadKind::kHotspot: return "hotspot";
+    case WorkloadKind::kBridges: return "bridges";
+    case WorkloadKind::kGrowth: return "growth";
+  }
+  return "?";
+}
+
+inline std::optional<WorkloadKind> workload_from_name(
+    std::string_view name) noexcept {
+  for (int k = 0; k < kWorkloadKindCount; ++k) {
+    if (name == workload_name(static_cast<WorkloadKind>(k))) {
+      return static_cast<WorkloadKind>(k);
+    }
+  }
+  return std::nullopt;
+}
+
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kUniform;
+  // Number of update ops in the trace.
+  int ops = 64;
+  // kHotspot: fraction of the nodes forming the hot set (at least 2 nodes).
+  double hotspot_fraction = 0.125;
+  // Weights drawn for inserts/reweighs are uniform in [1, max_weight].
+  std::uint64_t max_weight = std::uint64_t{1} << 20;
+
+  static WorkloadSpec of(WorkloadKind kind, int ops) {
+    WorkloadSpec s;
+    s.kind = kind;
+    s.ops = ops;
+    return s;
+  }
+};
+
+}  // namespace kkt::workload

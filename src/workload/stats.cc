@@ -1,0 +1,31 @@
+#include "workload/stats.h"
+
+#include <algorithm>
+
+namespace kkt::workload {
+namespace {
+
+// Nearest-rank percentile of a sorted sample set.
+std::uint64_t percentile(const std::vector<std::uint64_t>& sorted, int p) {
+  const std::size_t rank =
+      (sorted.size() * static_cast<std::size_t>(p) + 99) / 100;
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+CostStats aggregate(std::vector<std::uint64_t> samples) {
+  CostStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = percentile(samples, 50);
+  s.p99 = percentile(samples, 99);
+  for (const std::uint64_t x : samples) s.total += x;
+  s.mean = static_cast<double>(s.total) / static_cast<double>(s.count);
+  return s;
+}
+
+}  // namespace kkt::workload

@@ -1,0 +1,25 @@
+// Order statistics over per-op cost samples (the churn engine's aggregate
+// observables: min/mean/p50/p99 messages, bits, rounds per update).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace kkt::workload {
+
+struct CostStats {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;  // nearest-rank percentiles
+  std::uint64_t p99 = 0;
+  std::uint64_t total = 0;
+  double mean = 0.0;
+
+  friend bool operator==(const CostStats&, const CostStats&) = default;
+};
+
+// Aggregates a sample set (order-insensitive: samples are sorted inside).
+CostStats aggregate(std::vector<std::uint64_t> samples);
+
+}  // namespace kkt::workload

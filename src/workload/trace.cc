@@ -1,0 +1,116 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace kkt::workload {
+namespace {
+
+std::optional<UpdateTrace> fail(std::string* error, const std::string& msg) {
+  if (error != nullptr) *error = msg;
+  return std::nullopt;
+}
+
+void fnv_mix(std::uint64_t& h, std::uint64_t x) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (x >> (8 * byte)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t trace_digest(const UpdateTrace& t) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  fnv_mix(h, t.ops.size());
+  for (const core::UpdateOp& op : t.ops) {
+    fnv_mix(h, static_cast<std::uint64_t>(op.kind));
+    fnv_mix(h, op.u);
+    fnv_mix(h, op.v);
+    fnv_mix(h, op.weight);
+  }
+  return h;
+}
+
+void write_trace(std::ostream& os, const UpdateTrace& t) {
+  os << "# kkt-mst update trace\n";
+  os << "t " << t.name << ' ' << t.seed << ' ' << t.ops.size() << '\n';
+  for (const core::UpdateOp& op : t.ops) {
+    switch (op.kind) {
+      case core::OpKind::kInsert:
+        os << "+ " << op.u << ' ' << op.v << ' ' << op.weight << '\n';
+        break;
+      case core::OpKind::kDelete:
+        os << "- " << op.u << ' ' << op.v << '\n';
+        break;
+      case core::OpKind::kWeightChange:
+        os << "~ " << op.u << ' ' << op.v << ' ' << op.weight << '\n';
+        break;
+    }
+  }
+}
+
+bool write_trace_file(const std::string& path, const UpdateTrace& t) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_trace(out, t);
+  return static_cast<bool>(out);
+}
+
+std::optional<UpdateTrace> read_trace(std::istream& is, std::string* error) {
+  UpdateTrace t;
+  bool have_header = false;
+  std::size_t declared_ops = 0;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string kind;
+    if (!(ls >> kind) || kind[0] == '#') continue;
+    const auto bad = [&](const char* what) {
+      return fail(error, "line " + std::to_string(lineno) + ": " + what);
+    };
+    if (kind == "t") {
+      if (have_header) return bad("duplicate header");
+      if (!(ls >> t.name >> t.seed >> declared_ops)) {
+        return bad("malformed header");
+      }
+      have_header = true;
+      t.ops.reserve(declared_ops);
+    } else if (kind == "+" || kind == "-" || kind == "~") {
+      if (!have_header) return bad("op before header");
+      core::UpdateOp op;
+      if (!(ls >> op.u >> op.v)) return bad("malformed endpoints");
+      if (kind == "-") {
+        op.kind = core::OpKind::kDelete;
+      } else {
+        op.kind = kind == "+" ? core::OpKind::kInsert
+                              : core::OpKind::kWeightChange;
+        if (!(ls >> op.weight) || op.weight == 0) return bad("bad weight");
+      }
+      if (op.u == op.v) return bad("self-loop op");
+      t.ops.push_back(op);
+    } else {
+      return bad("unknown record");
+    }
+  }
+  if (!have_header) return fail(error, "missing trace header");
+  if (t.ops.size() != declared_ops) {
+    return fail(error, "op count mismatch: header declares " +
+                           std::to_string(declared_ops) + ", found " +
+                           std::to_string(t.ops.size()));
+  }
+  return t;
+}
+
+std::optional<UpdateTrace> read_trace_file(const std::string& path,
+                                           std::string* error) {
+  std::ifstream in(path);
+  if (!in) return fail(error, "cannot open " + path);
+  return read_trace(in, error);
+}
+
+}  // namespace kkt::workload

@@ -21,12 +21,13 @@
 #include "test_util.h"
 
 // Replacing the global allocation functions would fight the sanitizers'
-// own interceptors, so the counting (and the zero-allocation expectations)
-// only run in uninstrumented builds.
-#if defined(__SANITIZE_ADDRESS__)
+// own interceptors (ASan and TSan both intercept malloc/free), so the
+// counting (and the zero-allocation expectations) only run in
+// uninstrumented builds.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define KKT_ALLOC_COUNTING 0
 #elif defined(__has_feature)
-#if __has_feature(address_sanitizer)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
 #define KKT_ALLOC_COUNTING 0
 #endif
 #endif
