@@ -101,4 +101,4 @@ BENCHMARK(BM_BuildMst_NodeMemory)
 }  // namespace
 }  // namespace kkt::bench
 
-BENCHMARK_MAIN();
+KKT_BENCH_MAIN();

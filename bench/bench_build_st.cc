@@ -69,4 +69,4 @@ BENCHMARK(BM_BuildSt_Flooding_DensitySweep)
 }  // namespace
 }  // namespace kkt::bench
 
-BENCHMARK_MAIN();
+KKT_BENCH_MAIN();

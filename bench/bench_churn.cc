@@ -123,4 +123,4 @@ BENCHMARK(BM_Churn_SweepThreads)
 }  // namespace
 }  // namespace kkt::bench
 
-BENCHMARK_MAIN();
+KKT_BENCH_MAIN();

@@ -79,4 +79,4 @@ BENCHMARK(BM_Crossover_Ghs_Hierarchical)
 }  // namespace
 }  // namespace kkt::bench
 
-BENCHMARK_MAIN();
+KKT_BENCH_MAIN();

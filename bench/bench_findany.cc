@@ -105,4 +105,4 @@ BENCHMARK(BM_FindAny_AttemptsUntilSuccess)
 }  // namespace
 }  // namespace kkt::bench
 
-BENCHMARK_MAIN();
+KKT_BENCH_MAIN();

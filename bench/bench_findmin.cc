@@ -175,4 +175,4 @@ BENCHMARK(BM_FindMin_WideWeights_Sampling)
 }  // namespace
 }  // namespace kkt::bench
 
-BENCHMARK_MAIN();
+KKT_BENCH_MAIN();

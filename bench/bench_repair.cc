@@ -204,4 +204,4 @@ BENCHMARK(BM_Repair_Insert)
 }  // namespace
 }  // namespace kkt::bench
 
-BENCHMARK_MAIN();
+KKT_BENCH_MAIN();

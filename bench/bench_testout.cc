@@ -132,4 +132,4 @@ BENCHMARK(BM_HpTestOut_ErrorRates)
 }  // namespace
 }  // namespace kkt::bench
 
-BENCHMARK_MAIN();
+KKT_BENCH_MAIN();

@@ -15,13 +15,19 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <utility>
+#include <vector>
 
 #include "graph/forest.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/mst_oracle.h"
+#include "report/schema.h"
 #include "scenario/scenario.h"
 #include "util/rng.h"
 
@@ -84,4 +90,94 @@ inline void report(benchmark::State& state, const sim::Metrics& m,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Unified artifact plumbing (docs/RESULT_SCHEMA.md)
+// ---------------------------------------------------------------------------
+//
+// Every bench binary runs through KKT_BENCH_MAIN() below: the console
+// output is unchanged, but each finished run's name and counters are also
+// captured, and when the KKT_BENCH_OUT environment variable names a file
+// the whole session is written there in the unified result schema --
+// deterministic counters only, no wall-clock noise, so BENCH_*.json
+// artifacts share one version header and diff cleanly across commits.
+// (Google Benchmark's own --benchmark_out still works; artifacts written
+// that way are readable via the schema parser's one-release legacy shim.)
+
+class RecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      report::RunRecord rec;
+      rec.name = run.benchmark_name();
+      for (const auto& [key, counter] : run.counters) {
+        rec.counters[key] = counter.value;
+      }
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<report::RunRecord> take_records() {
+    return std::move(records_);
+  }
+
+ private:
+  std::vector<report::RunRecord> records_;
+};
+
+inline int bench_main(int argc, char** argv) {
+  std::string tool = argc > 0 && argv[0] ? argv[0] : "bench";
+  if (const std::size_t slash = tool.find_last_of('/');
+      slash != std::string::npos) {
+    tool = tool.substr(slash + 1);
+  }
+  // --benchmark_format selects the *display* reporter; our recording
+  // reporter is console-flavored, so a non-console request (the legacy
+  // JSON-on-stdout recipe) falls back to stock BENCHMARK_MAIN behavior --
+  // honoring the flag but recording nothing.
+  bool custom_display = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i] ? argv[i] : "";
+    if (arg.rfind("--benchmark_format", 0) == 0 &&
+        arg != "--benchmark_format=console") {
+      custom_display = false;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  RecordingReporter reporter;
+  if (custom_display) {
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  } else {
+    if (std::getenv("KKT_BENCH_OUT") != nullptr) {
+      std::fprintf(stderr,
+                   "warning: KKT_BENCH_OUT is ignored when "
+                   "--benchmark_format is not console\n");
+    }
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  if (const char* out = std::getenv("KKT_BENCH_OUT");
+      custom_display && out && *out) {
+    report::ResultFile file;
+    file.tool = tool;
+    file.records = reporter.take_records();
+    if (!report::write_results_file(out, file)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out);
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s: %zu records (kkt_result_schema v%d)\n",
+                 out, file.records.size(), report::kResultSchemaVersion);
+  }
+  return 0;
+}
+
 }  // namespace kkt::bench
+
+// Drop-in replacement for BENCHMARK_MAIN() that adds the unified-artifact
+// flush; every bench in bench/ uses this.
+#define KKT_BENCH_MAIN()                            \
+  int main(int argc, char** argv) {                 \
+    return kkt::bench::bench_main(argc, argv);      \
+  }                                                 \
+  static_assert(true, "require a trailing semicolon")

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify on the strict `dev` preset, the full
 # test suite under Address+UB sanitizers, the parallel-sweep tests under
-# ThreadSanitizer, and the bench-baseline snapshots that seed the perf
-# trajectory. Usage:
+# ThreadSanitizer, the bench-baseline snapshots that seed the perf
+# trajectory, and the report stage that regenerates the experiment docs
+# and fails on drift. Usage:
 #
 #   ci/run.sh           # dev + asan + tsan stages
 #   ci/run.sh dev       # strict-warnings build + tests only
@@ -10,6 +11,11 @@
 #   ci/run.sh tsan      # ThreadSanitizer build + `parallel`-labeled tests
 #   ci/run.sh bench     # release build + bench smoke, archives
 #                       # BENCH_messages.json and BENCH_churn.json
+#                       # (unified schema, docs/RESULT_SCHEMA.md)
+#   ci/run.sh report    # release build + head-to-head grid; archives
+#                       # BENCH_headtohead.json and fails if the committed
+#                       # docs/experiments tables or the EXPERIMENTS.md
+#                       # generated block drift from the artifact
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,41 +32,57 @@ run_preset() {
   ctest --preset "$preset"
 }
 
-# Bench baseline: the model-cost counters (messages, bits, rounds,
-# broadcast-and-echoes) are deterministic given the seed, so a smoke-length
-# run captures the same counter values as a full run. The JSON snapshot is
-# the perf-trajectory artifact future PRs diff against.
-run_bench_baseline() {
+build_release() {
   echo "==> configure [release]"
   cmake --preset release
-  echo "==> build [release] (benches)"
+  echo "==> build [release]"
   cmake --build --preset release -j "$jobs"
-  echo "==> bench baseline (smoke config, json)"
+}
+
+# Bench baseline: the model-cost counters (messages, bits, rounds,
+# broadcast-and-echoes) are deterministic given the seed, so a smoke-length
+# run captures the same counter values as a full run. The snapshots are the
+# perf-trajectory artifacts future PRs diff against, written through the
+# unified result schema (KKT_BENCH_OUT + bench/bench_util.h) so every
+# BENCH_*.json shares one version header and diffs line-by-line.
+run_bench_baseline() {
+  build_release
+  echo "==> bench baseline (smoke config, unified schema)"
   local out="${BENCH_OUT:-BENCH_messages.json}"
-  ./build/release/bench/bench_build_mst \
-    --benchmark_min_time=0.01 \
-    --benchmark_format=json \
-    --benchmark_out="$out" \
-    --benchmark_out_format=json
+  KKT_BENCH_OUT="$out" ./build/release/bench/bench_build_mst \
+    --benchmark_min_time=0.01
   echo "==> archived $out"
   # Churn soak counters: per-op percentiles + oracle exactness + the
   # thread-count determinism rows (identical model costs at 1/2/8 threads).
   local churn_out="${BENCH_CHURN_OUT:-BENCH_churn.json}"
-  ./build/release/bench/bench_churn \
-    --benchmark_min_time=0.01 \
-    --benchmark_format=json \
-    --benchmark_out="$churn_out" \
-    --benchmark_out_format=json
+  KKT_BENCH_OUT="$churn_out" ./build/release/bench/bench_churn \
+    --benchmark_min_time=0.01
   echo "==> archived $churn_out"
 }
 
+# Report stage: run the KKT-vs-baseline head-to-head grid at the canonical
+# seeds, then verify the committed experiment docs are exactly what the
+# fresh artifact renders. Drift means someone changed counters or docs
+# without regenerating (kkt_report gen) -- fail loudly.
+run_report() {
+  build_release
+  echo "==> head-to-head grid (canonical seeds)"
+  ./build/release/tools/kkt_report run --threads "$jobs" \
+    --out BENCH_headtohead.json
+  echo "==> drift check (docs/experiments + EXPERIMENTS.md)"
+  ./build/release/tools/kkt_report check --in BENCH_headtohead.json \
+    --docs docs/experiments --experiments EXPERIMENTS.md
+  echo "==> archived BENCH_headtohead.json"
+}
+
 case "$stage" in
-  dev)   run_preset dev ;;
-  asan)  run_preset asan ;;
-  tsan)  run_preset tsan ;;
-  bench) run_bench_baseline ;;
-  all)   run_preset dev; run_preset asan; run_preset tsan ;;
-  *)     echo "usage: $0 [dev|asan|tsan|bench|all]" >&2; exit 2 ;;
+  dev)    run_preset dev ;;
+  asan)   run_preset asan ;;
+  tsan)   run_preset tsan ;;
+  bench)  run_bench_baseline ;;
+  report) run_report ;;
+  all)    run_preset dev; run_preset asan; run_preset tsan ;;
+  *)      echo "usage: $0 [dev|asan|tsan|bench|report|all]" >&2; exit 2 ;;
 esac
 
 echo "==> OK [$stage]"

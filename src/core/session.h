@@ -15,6 +15,22 @@
 // instance. Ops that do not resolve against the current graph (replay drift:
 // deleting a missing edge, inserting a duplicate) are recorded with
 // `applied == false` and cost nothing.
+//
+// Preconditions: the session borrows graph, forest and network for its
+// whole lifetime -- they must outlive it, and `forest` must describe a
+// spanning forest of `g` that satisfies `kind`'s invariant (exact MSF for
+// kMst) when the session is constructed; churn harnesses premark the
+// Kruskal oracle forest. Postcondition of every apply(): the invariant
+// holds again (up to the documented Monte Carlo failure probability of the
+// embedded searches, surfaced as RepairAction::kSearchFailed).
+//
+// Thread-safety: a session is NOT thread-safe; it mutates its borrowed
+// world. Concurrency in this repo is across worlds (one session per world,
+// see scenario::SweepExecutor), never within one.
+//
+// Determinism: apply() draws randomness only from the network's seeded
+// schedule, so a fixed (scenario seed, trace) pair reproduces every
+// OpRecord -- action, metric deltas, oracle verdicts -- bit-for-bit.
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,37 @@
+#include "report/fit.h"
+
+#include <cmath>
+
+namespace kkt::report {
+
+std::optional<PowerLawFit> fit_power_law(std::span<const double> x,
+                                         std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) return std::nullopt;
+  const std::size_t k = x.size();
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!(x[i] > 0.0) || !(y[i] > 0.0)) return std::nullopt;
+    sx += std::log(x[i]);
+    sy += std::log(y[i]);
+  }
+  const double mx = sx / static_cast<double>(k);
+  const double my = sy / static_cast<double>(k);
+  double sxx = 0, sxy = 0, syy = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double dx = std::log(x[i]) - mx;
+    const double dy = std::log(y[i]) - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return std::nullopt;  // all x equal: slope undefined
+  PowerLawFit fit;
+  fit.exponent = sxy / sxx;
+  fit.coeff = std::exp(my - fit.exponent * mx);
+  // syy == 0 means y is constant: the zero-slope fit is exact.
+  fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  fit.points = k;
+  return fit;
+}
+
+}  // namespace kkt::report

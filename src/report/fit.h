@@ -1,0 +1,40 @@
+// Power-law fits: turn "o(m) messages" from a sentence into a number.
+//
+// A scaling claim in this repo is asserted as the least-squares slope of
+// log(cost) against log(n) over a size grid: cost ~ C * n^e fits e as the
+// log-log slope. The head-to-head harness fits every (task, algorithm)
+// series and the report generator prints the exponents side by side --
+// KKT BuildMST's exponent must sit strictly below the flooding baseline's
+// (Theorem 1.1's o(m), checked by tests/headtohead_test.cc and the CI
+// report stage).
+//
+// Determinism: the fit is a fixed-order reduction over the input points;
+// given identical inputs the result is bit-identical on one platform and
+// equal to ~1 ulp across libms (renderers round to 3 decimals).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+
+namespace kkt::report {
+
+struct PowerLawFit {
+  // cost ~ coeff * n^exponent
+  double exponent = 0.0;
+  double coeff = 0.0;
+  // Coefficient of determination of the log-log regression; 1.0 for an
+  // exact power law (and for the degenerate 2-point fit).
+  double r2 = 0.0;
+  std::size_t points = 0;
+
+  friend bool operator==(const PowerLawFit&, const PowerLawFit&) = default;
+};
+
+// Least-squares fit of log(y) = log(coeff) + exponent * log(x). Requires
+// at least two points with distinct x; every x and y must be > 0. Returns
+// nullopt otherwise.
+std::optional<PowerLawFit> fit_power_law(std::span<const double> x,
+                                         std::span<const double> y);
+
+}  // namespace kkt::report

@@ -1,0 +1,406 @@
+#include "report/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace kkt::report {
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : as_object()) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  if (!is_object()) *this = JsonValue(Object{});
+  obj_.emplace_back(std::move(key), std::move(value));
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through verbatim
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double d) {
+  // Non-finite numbers have no JSON spelling; write null (the parser treats
+  // bare NaN/Inf as malformed, so round trips stay strict).
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  // Integral doubles in the exactly-representable range print without a
+  // fraction: counters stay "123", not "123.0" or "1.23e+02".
+  if (d == std::floor(d) && std::abs(d) < 9007199254740992.0) {  // 2^53
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+    out += buf;
+    return;
+  }
+  // Shortest representation that round-trips a double.
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  double back = 0.0;
+  std::sscanf(buf, "%lf", &back);
+  if (back == d) {
+    for (int prec = 15; prec <= 16; ++prec) {
+      char shorter[40];
+      std::snprintf(shorter, sizeof shorter, "%.*g", prec, d);
+      std::sscanf(shorter, "%lf", &back);
+      if (back == d) {
+        out += shorter;
+        return;
+      }
+    }
+  }
+  out += buf;
+}
+
+void serialize(const JsonValue& v, int indent, int depth, std::string& out) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int levels) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull: out += "null"; break;
+    case JsonValue::Kind::kBool: out += v.as_bool() ? "true" : "false"; break;
+    case JsonValue::Kind::kNumber: append_number(out, v.as_number()); break;
+    case JsonValue::Kind::kString: append_escaped(out, v.as_string()); break;
+    case JsonValue::Kind::kArray: {
+      const auto& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_pad(depth + 1);
+        serialize(a[i], indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      const auto& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i != 0) out += ',';
+        newline_pad(depth + 1);
+        append_escaped(out, o[i].first);
+        out += pretty ? ": " : ":";
+        serialize(o[i].second, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_serialize(const JsonValue& v, int indent) {
+  std::string out;
+  serialize(v, indent, 0, out);
+  if (indent >= 0) out += '\n';
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> run(std::string* error) {
+    std::optional<JsonValue> v = parse_value(0);
+    if (v) {
+      skip_ws();
+      if (pos_ != text_.size()) {
+        v.reset();
+        fail("trailing characters after document");
+      }
+    }
+    if (!v && error) {
+      *error = "offset " + std::to_string(err_pos_) + ": " + err_;
+    }
+    return v;
+  }
+
+ private:
+  bool fail(const char* why) {
+    if (err_.empty()) {
+      err_ = why;
+      err_pos_ = pos_;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  std::optional<JsonValue> parse_value(int depth) {
+    if (depth > JsonValue::kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case 'n':
+        if (literal("null")) return JsonValue(nullptr);
+        fail("invalid literal");
+        return std::nullopt;
+      case 't':
+        if (literal("true")) return JsonValue(true);
+        fail("invalid literal");
+        return std::nullopt;
+      case 'f':
+        if (literal("false")) return JsonValue(false);
+        fail("invalid literal");
+        return std::nullopt;
+      case '"': return parse_string();
+      case '[': return parse_array(depth);
+      case '{': return parse_object(depth);
+      default: return parse_number();
+    }
+  }
+
+  std::optional<JsonValue> parse_string() {
+    std::optional<std::string> s = parse_raw_string();
+    if (!s) return std::nullopt;
+    return JsonValue(*std::move(s));
+  }
+
+  std::optional<std::string> parse_raw_string() {
+    if (!consume('"')) {
+      fail("expected string");
+      return std::nullopt;
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size()) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else {
+              fail("invalid \\u escape");
+              return std::nullopt;
+            }
+          }
+          // Encode the BMP code point as UTF-8 (surrogate pairs are not
+          // combined; artifacts in this repo are ASCII).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      const std::size_t before = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      return pos_ > before;
+    };
+    const std::size_t int_start = pos_;
+    if (!digits()) {
+      pos_ = start;
+      fail("expected value");
+      return std::nullopt;
+    }
+    // RFC 8259: no leading zeros ("01" is malformed, "0" and "0.5" fine).
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      pos_ = int_start;
+      fail("leading zero in number");
+      return std::nullopt;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digits()) {
+        fail("digits required after decimal point");
+        return std::nullopt;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digits()) {
+        fail("digits required in exponent");
+        return std::nullopt;
+      }
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    const double d = std::strtod(token.c_str(), nullptr);
+    if (!std::isfinite(d)) {
+      fail("number out of range");
+      return std::nullopt;
+    }
+    return JsonValue(d);
+  }
+
+  std::optional<JsonValue> parse_array(int depth) {
+    consume('[');
+    JsonValue::Array items;
+    skip_ws();
+    if (consume(']')) return JsonValue(std::move(items));
+    while (true) {
+      std::optional<JsonValue> v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      items.push_back(*std::move(v));
+      if (consume(',')) continue;
+      if (consume(']')) return JsonValue(std::move(items));
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parse_object(int depth) {
+    consume('{');
+    JsonValue::Object members;
+    skip_ws();
+    if (consume('}')) return JsonValue(std::move(members));
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_raw_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<JsonValue> v = parse_value(depth + 1);
+      if (!v) return std::nullopt;
+      members.emplace_back(*std::move(key), *std::move(v));
+      if (consume(',')) continue;
+      if (consume('}')) return JsonValue(std::move(members));
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string err_;
+  std::size_t err_pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace kkt::report

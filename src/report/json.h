@@ -1,0 +1,101 @@
+// A minimal JSON value model: parse, build, serialize. No external deps.
+//
+// This exists so the result pipeline (schema.h) and its consumers can read
+// and write artifacts without pulling a JSON library into the image. The
+// model is deliberately small:
+//
+//   * numbers are IEEE doubles (every counter in this repo fits: model-cost
+//     counters are < 2^53, and the writer prints integral doubles without a
+//     fraction so artifacts diff cleanly);
+//   * objects preserve insertion order (writes are byte-deterministic given
+//     the same build order; schema.h sorts counter keys before building);
+//   * parsing is strict: trailing garbage, unknown escapes, bare NaN/Inf and
+//     nesting deeper than kMaxDepth are errors, reported with a byte offset.
+//
+// Thread-safety: JsonValue is a value type with no global state; distinct
+// values may be used from distinct threads freely.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace kkt::report {
+
+// Storage note: a tagged struct with one member per alternative, not a
+// std::variant -- inactive members stay default-constructed (the invariant
+// the defaulted operator== relies on). Artifacts in this repo are small, so
+// the few spare words per node buy simplicity and keep GCC 12's
+// maybe-uninitialized false positives on variant moves out of the -Werror
+// builds.
+class JsonValue {
+ public:
+  using Array = std::vector<JsonValue>;
+  // Insertion-ordered object: deterministic serialization, linear lookup
+  // (objects in this pipeline are small).
+  using Object = std::vector<std::pair<std::string, JsonValue>>;
+
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  // Parser recursion limit (arrays/objects nested deeper fail to parse).
+  static constexpr int kMaxDepth = 64;
+
+  JsonValue() = default;
+  JsonValue(std::nullptr_t) {}
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(int i) : kind_(Kind::kNumber), num_(static_cast<double>(i)) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+  JsonValue(Array a) : kind_(Kind::kArray), arr_(std::move(a)) {}
+  JsonValue(Object o) : kind_(Kind::kObject), obj_(std::move(o)) {}
+
+  Kind kind() const noexcept { return kind_; }
+  bool is_null() const noexcept { return kind_ == Kind::kNull; }
+  bool is_bool() const noexcept { return kind_ == Kind::kBool; }
+  bool is_number() const noexcept { return kind_ == Kind::kNumber; }
+  bool is_string() const noexcept { return kind_ == Kind::kString; }
+  bool is_array() const noexcept { return kind_ == Kind::kArray; }
+  bool is_object() const noexcept { return kind_ == Kind::kObject; }
+
+  // Accessors assume the matching kind (callers check is_*() first; a
+  // mismatched read returns that alternative's default value).
+  bool as_bool() const noexcept { return bool_; }
+  double as_number() const noexcept { return num_; }
+  const std::string& as_string() const noexcept { return str_; }
+  const Array& as_array() const noexcept { return arr_; }
+  Array& as_array() noexcept { return arr_; }
+  const Object& as_object() const noexcept { return obj_; }
+  Object& as_object() noexcept { return obj_; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view key) const noexcept;
+
+  // Appends (does not replace) a member; callers build fresh objects.
+  void set(std::string key, JsonValue value);
+
+  friend bool operator==(const JsonValue&, const JsonValue&) = default;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+// Serializes deterministically. indent < 0: compact one-line output;
+// indent >= 0: pretty-printed with that many spaces per level and a
+// trailing newline (the artifact style, friendly to line diffs).
+std::string json_serialize(const JsonValue& v, int indent = 2);
+
+// Strict parse of a complete document. On failure returns nullopt and, if
+// error != nullptr, a message of the form "offset N: reason".
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace kkt::report

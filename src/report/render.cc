@@ -1,0 +1,257 @@
+#include "report/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+namespace kkt::report {
+
+namespace {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const std::size_t at = s.find(sep);
+    if (at == std::string_view::npos) {
+      parts.push_back(s);
+      return parts;
+    }
+    parts.push_back(s.substr(0, at));
+    s.remove_prefix(at + 1);
+  }
+}
+
+std::string fmt_count(double v) {
+  char buf[40];
+  if (v == std::floor(v) && std::abs(v) < 9007199254740992.0) {
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f", v);
+  }
+  return buf;
+}
+
+std::string fmt3(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+struct Series {
+  std::string algo;
+  std::vector<const RunRecord*> cells;  // artifact order
+  const RunRecord* fit = nullptr;
+
+  const RunRecord* cell_at(double n) const {
+    for (const RunRecord* c : cells) {
+      if (c->counter_or("n", -1) == n) return c;
+    }
+    return nullptr;
+  }
+};
+
+struct TaskTable {
+  std::string task;
+  std::vector<Series> series;  // artifact order
+
+  Series& series_for(std::string_view algo) {
+    for (Series& s : series) {
+      if (s.algo == algo) return s;
+    }
+    series.push_back(Series{std::string(algo), {}, nullptr});
+    return series.back();
+  }
+
+  // Ascending instance sizes present in any series.
+  std::vector<double> sizes() const {
+    std::vector<double> ns;
+    for (const Series& s : series) {
+      for (const RunRecord* c : s.cells) {
+        const double n = c->counter_or("n", -1);
+        if (std::find(ns.begin(), ns.end(), n) == ns.end()) ns.push_back(n);
+      }
+    }
+    std::sort(ns.begin(), ns.end());
+    return ns;
+  }
+};
+
+std::vector<TaskTable> collect(const ResultFile& f) {
+  std::vector<TaskTable> tasks;
+  const auto task_for = [&tasks](std::string_view name) -> TaskTable& {
+    for (TaskTable& t : tasks) {
+      if (t.task == name) return t;
+    }
+    tasks.push_back(TaskTable{std::string(name), {}});
+    return tasks.back();
+  };
+  for (const RunRecord& r : f.records) {
+    const auto parts = split(r.name, '/');
+    if (parts.size() == 4 && parts[0] == "headtohead") {
+      task_for(parts[1]).series_for(parts[2]).cells.push_back(&r);
+    } else if (parts.size() == 3 && parts[0] == "headtohead-fit") {
+      task_for(parts[1]).series_for(parts[2]).fit = &r;
+    }
+  }
+  return tasks;
+}
+
+std::string_view task_title(std::string_view task) {
+  if (task == "build_mst") return "Build MST — KKT vs GHS vs flooding";
+  if (task == "find_min") return "FindMin — KKT vs naive probe-everything";
+  if (task == "repair_delete") {
+    return "Repair (tree-edge deletion) — KKT vs naive";
+  }
+  return task;
+}
+
+void render_task(const TaskTable& t, std::string& out) {
+  out += "## `";
+  out += t.task;
+  out += "` — ";
+  out += task_title(t.task);
+  out += "\n\n";
+
+  const std::vector<double> ns = t.sizes();
+
+  // Messages table: one row per n, one column per algorithm.
+  out += "Messages (mean over seeds) by instance size:\n\n";
+  out += "| n | m |";
+  for (const Series& s : t.series) {
+    out += " ";
+    out += s.algo;
+    out += " |";
+  }
+  out += "\n|---:|---:|";
+  for (std::size_t i = 0; i < t.series.size(); ++i) out += "---:|";
+  out += "\n";
+  for (const double n : ns) {
+    double m = 0;
+    for (const Series& s : t.series) {
+      if (const RunRecord* c = s.cell_at(n)) m = c->counter_or("m", 0);
+    }
+    out += "| " + fmt_count(n) + " | " + fmt_count(m) + " |";
+    for (const Series& s : t.series) {
+      const RunRecord* c = s.cell_at(n);
+      out += " ";
+      out += c ? fmt_count(c->counter_or("messages", 0)) : "—";
+      out += " |";
+    }
+    out += "\n";
+  }
+  out += "\n";
+
+  // Secondary observables at the largest size.
+  if (!ns.empty()) {
+    const double n_max = ns.back();
+    out += "At n = " + fmt_count(n_max) +
+           " (mean over seeds): rounds / payload bits / broadcast-echoes:"
+           "\n\n";
+    out += "| algo | rounds | bits | bcast_echoes |\n";
+    out += "|---|---:|---:|---:|\n";
+    for (const Series& s : t.series) {
+      const RunRecord* c = s.cell_at(n_max);
+      if (!c) continue;
+      out += "| " + s.algo + " | " + fmt_count(c->counter_or("rounds", 0)) +
+             " | " + fmt_count(c->counter_or("bits", 0)) + " | " +
+             fmt_count(c->counter_or("bcast_echoes", 0)) + " |\n";
+    }
+    out += "\n";
+  }
+
+  // Fitted exponents.
+  out += "Fitted scaling (messages ≈ C·n^e, log-log least squares):\n\n";
+  out += "| algo | exponent e | r² | points |\n";
+  out += "|---|---:|---:|---:|\n";
+  for (const Series& s : t.series) {
+    if (!s.fit) continue;
+    out += "| " + s.algo + " | " + fmt3(s.fit->counter_or("exponent", 0)) +
+           " | " + fmt3(s.fit->counter_or("r2", 0)) + " | " +
+           fmt_count(s.fit->counter_or("points", 0)) + " |\n";
+  }
+  out += "\n";
+}
+
+const RunRecord* find_fit(const std::vector<TaskTable>& tasks,
+                          std::string_view task, std::string_view algo) {
+  for (const TaskTable& t : tasks) {
+    if (t.task != task) continue;
+    for (const Series& s : t.series) {
+      if (s.algo == algo) return s.fit;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string render_headtohead_markdown(const ResultFile& f,
+                                       std::string_view source) {
+  const std::vector<TaskTable> tasks = collect(f);
+  std::string out;
+  out += "# Head-to-head: KKT vs the Ω(m) baselines\n\n";
+  out += "<!-- Generated by kkt_report from ";
+  out += source;
+  out += "; do not edit by hand.\n";
+  out += "     Regenerate: kkt_report gen --in ";
+  out += source;
+  out += " (see docs/RESULT_SCHEMA.md). -->\n\n";
+  out +=
+      "Every task runs the KKT algorithm and its baselines on the *same* "
+      "graphs\n(same family, same seeds); counters are model costs — "
+      "deterministic given\nthe seed — and each series is summarised by its "
+      "fitted power-law exponent.\nThe o(m) claims of Theorems 1.1/1.2 are "
+      "the exponent gaps in these tables.\n\n";
+  for (const TaskTable& t : tasks) render_task(t, out);
+  return out;
+}
+
+std::string render_experiments_block(const ResultFile& f) {
+  const std::vector<TaskTable> tasks = collect(f);
+  std::string out;
+  out +=
+      "Fitted message-count exponents (messages ≈ C·n^e over the "
+      "head-to-head\ngrid; full tables in "
+      "[docs/experiments/headtohead.md](docs/experiments/headtohead.md)):\n\n";
+  out += "| task | algo | exponent e | r² |\n";
+  out += "|---|---|---:|---:|\n";
+  for (const TaskTable& t : tasks) {
+    for (const Series& s : t.series) {
+      if (!s.fit) continue;
+      out += "| " + t.task + " | " + s.algo + " | " +
+             fmt3(s.fit->counter_or("exponent", 0)) + " | " +
+             fmt3(s.fit->counter_or("r2", 0)) + " |\n";
+    }
+  }
+  const RunRecord* kkt = find_fit(tasks, "build_mst", "kkt");
+  const RunRecord* flood = find_fit(tasks, "build_mst", "flood");
+  if (kkt && flood) {
+    out += "\nHeadline (Theorem 1.1): KKT BuildMST grows as n^" +
+           fmt3(kkt->counter_or("exponent", 0)) +
+           " while flooding grows as n^" +
+           fmt3(flood->counter_or("exponent", 0)) +
+           " on the same graphs — the o(m) gap, asserted by "
+           "`tests/headtohead_test.cc` and the CI report stage.\n";
+  }
+  return out;
+}
+
+std::optional<std::string> splice_generated_block(std::string_view doc,
+                                                  std::string_view block) {
+  const std::size_t begin = doc.find(kGeneratedBeginMarker);
+  if (begin == std::string_view::npos) return std::nullopt;
+  const std::size_t body = begin + kGeneratedBeginMarker.size();
+  const std::size_t end = doc.find(kGeneratedEndMarker, body);
+  if (end == std::string_view::npos) return std::nullopt;
+  std::string out;
+  out.reserve(doc.size() + block.size());
+  out += doc.substr(0, body);
+  out += "\n";
+  out += block;
+  if (!block.empty() && block.back() != '\n') out += "\n";
+  out += doc.substr(end);
+  return out;
+}
+
+}  // namespace kkt::report

@@ -1,0 +1,86 @@
+// The unified bench-result schema: one versioned JSON shape for every
+// BENCH_*.json artifact in the repo (spec: docs/RESULT_SCHEMA.md).
+//
+// A result file is a producer name plus a flat list of RunRecords; a record
+// is a slash-delimited name plus a counter map (string -> double). All the
+// observables in this repo -- model-cost counters, fitted exponents, grid
+// coordinates -- fit that shape, so the report generator, the perf
+// trajectory and the drift check all consume a single parser.
+//
+//   {
+//     "kkt_result_schema": 1,
+//     "tool": "bench_build_mst",
+//     "records": [
+//       {"name": "BM_BuildMst_Kkt_N15/64", "counters": {"messages": 10480}}
+//     ]
+//   }
+//
+// Determinism: write_results() is byte-deterministic -- counters serialize
+// in sorted key order, integral values print without a fraction -- so two
+// runs at the same seed produce byte-identical artifacts (held by
+// tests/report_test.cc) and artifacts diff line-by-line across commits.
+//
+// Legacy shim (one release): parse_results() also accepts the Google
+// Benchmark JSON format that BENCH_messages.json/BENCH_churn.json used
+// before the rebase ({"context": ..., "benchmarks": [...]}); each
+// benchmark entry becomes a RunRecord of its numeric fields. New writers
+// must emit the unified shape; the shim exists only so trajectory tooling
+// can read pre-rebase snapshots and will be dropped next release.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kkt::report {
+
+inline constexpr int kResultSchemaVersion = 1;
+
+struct RunRecord {
+  // Slash-delimited identifier, e.g. "headtohead/build_mst/kkt/n=256" or a
+  // Google Benchmark run name. Renderers key off documented prefixes.
+  std::string name;
+  // Observables. std::map: serialization order is sorted and therefore
+  // deterministic regardless of how the producer filled the map.
+  std::map<std::string, double> counters;
+
+  double counter_or(std::string_view key, double dflt) const noexcept {
+    const auto it = counters.find(std::string(key));
+    return it == counters.end() ? dflt : it->second;
+  }
+
+  friend bool operator==(const RunRecord&, const RunRecord&) = default;
+};
+
+struct ResultFile {
+  int schema_version = kResultSchemaVersion;
+  std::string tool;  // producer binary/subsystem name
+  std::vector<RunRecord> records;
+
+  // First record whose name matches exactly; nullptr when absent.
+  const RunRecord* find(std::string_view name) const noexcept;
+
+  friend bool operator==(const ResultFile&, const ResultFile&) = default;
+};
+
+// Serializes in the unified shape (always schema_version as written in the
+// struct; callers leave the default). Byte-deterministic.
+std::string serialize_results(const ResultFile& f);
+void write_results(std::ostream& os, const ResultFile& f);
+bool write_results_file(const std::string& path, const ResultFile& f);
+
+// Parses a unified artifact, or (shim) a legacy Google Benchmark artifact.
+// Returns nullopt with a message in *error (if non-null) on malformed
+// input or an unsupported schema version.
+std::optional<ResultFile> parse_results(std::string_view text,
+                                        std::string* error = nullptr);
+std::optional<ResultFile> read_results(std::istream& is,
+                                       std::string* error = nullptr);
+std::optional<ResultFile> read_results_file(const std::string& path,
+                                            std::string* error = nullptr);
+
+}  // namespace kkt::report

@@ -1,0 +1,295 @@
+#include "scenario/headtohead.h"
+
+#include <utility>
+
+#include "baseline/flood_st.h"
+#include "baseline/ghs.h"
+#include "baseline/naive_repair.h"
+#include "core/build_mst.h"
+#include "core/find_min.h"
+#include "core/session.h"
+#include "graph/forest.h"
+#include "proto/tree_ops.h"
+#include "report/fit.h"
+
+namespace kkt::scenario {
+
+namespace {
+
+// Deterministic victim rule shared by both repair competitors: rotate
+// through the current tree so consecutive deletions damage different
+// regions, independent of algorithm.
+graph::EdgeIdx pick_victim(const std::vector<graph::EdgeIdx>& tree, int i) {
+  return tree[(tree.size() / 3 + 7 * static_cast<std::size_t>(i)) %
+              tree.size()];
+}
+
+Scenario cell_scenario(const HeadToHeadConfig& cfg, std::size_t n,
+                       bool premark) {
+  Scenario sc;
+  if (cfg.complete_graphs) {
+    sc.graph = GraphSpec::complete(n);
+  } else {
+    sc.graph = GraphSpec::gnm(n, cfg.density * n);
+    sc.graph.clamp_m = true;
+  }
+  sc.net.kind = cfg.net;
+  sc.premark_msf = premark;
+  return sc;
+}
+
+// The tree edge that splits the spanning tree most evenly, and a node on
+// the smaller-ID-free side (deterministic; ties break toward the smaller
+// edge index). Severing a balanced edge makes the orphaned side scale with
+// n, so fitted exponents measure the algorithms rather than the accident of
+// a lopsided cut.
+std::pair<graph::EdgeIdx, graph::NodeId> balanced_cut(const World& w) {
+  const auto tree = w.forest->marked_edges();
+  const std::size_t n = w.g->node_count();
+  std::vector<std::vector<std::pair<graph::NodeId, graph::EdgeIdx>>> adj(n);
+  for (const graph::EdgeIdx e : tree) {
+    const graph::Edge& ed = w.g->edge(e);
+    adj[ed.u].emplace_back(ed.v, e);
+    adj[ed.v].emplace_back(ed.u, e);
+  }
+  // Iterative DFS from node 0: parents, then subtree sizes bottom-up.
+  std::vector<std::size_t> size(n, 1);
+  std::vector<graph::NodeId> parent(n, 0);
+  std::vector<graph::EdgeIdx> parent_edge(n, graph::kNoEdge);
+  std::vector<bool> seen(n, false);
+  std::vector<graph::NodeId> order, stack{0};
+  order.reserve(n);
+  seen[0] = true;
+  while (!stack.empty()) {
+    const graph::NodeId u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    for (const auto& [v, e] : adj[u]) {
+      if (seen[v]) continue;
+      seen[v] = true;
+      parent[v] = u;
+      parent_edge[v] = e;
+      stack.push_back(v);
+    }
+  }
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (*it != 0) size[parent[*it]] += size[*it];
+  }
+  graph::EdgeIdx best = tree.front();
+  graph::NodeId best_side = w.g->edge(best).u;
+  std::size_t best_gap = n + 1;
+  for (const graph::NodeId v : order) {
+    if (v == 0 || parent_edge[v] == graph::kNoEdge) continue;
+    const std::size_t s = size[v];
+    const std::size_t gap = s > n - s ? 2 * s - n : n - 2 * s;
+    if (gap < best_gap || (gap == best_gap && parent_edge[v] < best)) {
+      best_gap = gap;
+      best = parent_edge[v];
+      best_side = v;
+    }
+  }
+  return {best, best_side};
+}
+
+// Severs the balanced tree edge and returns the orphaned initiator (the
+// cut both find_min competitors search). The graph keeps the edge, so it
+// remains a reconnection candidate for both.
+graph::NodeId sever_tree_edge(World& w) {
+  const auto [victim, side] = balanced_cut(w);
+  w.forest->clear_edge(victim);
+  return side;
+}
+
+void naive_delete_and_repair(World& w, int i) {
+  const auto tree = w.forest->marked_edges();
+  if (tree.empty()) return;
+  const graph::EdgeIdx victim = pick_victim(tree, i);
+  const graph::NodeId root = w.g->edge(victim).u;
+  w.g->remove_edge(victim);
+  w.forest->clear_edge(victim);
+  const auto res = baseline::naive_find_min_cut(*w.net, *w.forest, root);
+  if (res.found) {
+    // Mark directly (both halves): the baseline's bill is the search.
+    for (graph::EdgeIdx e : w.g->alive_edge_indices()) {
+      if (w.g->edge_num(e) == res.edge_num) w.forest->mark_edge(e);
+    }
+  }
+}
+
+struct SeriesSpec {
+  const char* task;
+  const char* algo;
+  bool premark;
+  ScenarioBody body;
+  // Per-seed metric totals divide by this before averaging (repair tasks
+  // report per-operation means).
+  double op_divisor = 1.0;
+};
+
+std::vector<SeriesSpec> make_series(const HeadToHeadConfig& cfg) {
+  const int ops = cfg.ops > 0 ? cfg.ops : 1;
+  std::vector<SeriesSpec> series;
+  series.push_back({"build_mst", "kkt", false,
+                    [](World& w) { core::build_mst(w.network(), w.trees()); },
+                    1.0});
+  series.push_back(
+      {"build_mst", "ghs", false,
+       [](World& w) { baseline::ghs_build_mst(w.network(), w.trees()); },
+       1.0});
+  series.push_back(
+      {"build_mst", "flood", false,
+       [](World& w) { baseline::flood_build_st(w.network(), w.trees()); },
+       1.0});
+  series.push_back({"find_min", "kkt", true,
+                    [](World& w) {
+                      const graph::NodeId root = sever_tree_edge(w);
+                      proto::TreeOps ops_(w.network(),
+                                          graph::TreeView(w.trees()));
+                      core::find_min(ops_, root);
+                    },
+                    1.0});
+  series.push_back({"find_min", "naive", true,
+                    [](World& w) {
+                      const graph::NodeId root = sever_tree_edge(w);
+                      baseline::naive_find_min_cut(w.network(), w.trees(),
+                                                   root);
+                    },
+                    1.0});
+  series.push_back({"repair_delete", "kkt", true,
+                    [ops](World& w) {
+                      core::MaintenanceSession session(
+                          w.graph(), w.trees(), w.network(),
+                          core::ForestKind::kMst);
+                      for (int i = 0; i < ops; ++i) {
+                        const auto tree = w.forest->marked_edges();
+                        if (tree.empty()) break;
+                        const graph::Edge& ed =
+                            w.g->edge(pick_victim(tree, i));
+                        session.apply(core::UpdateOp::erase(ed.u, ed.v));
+                      }
+                    },
+                    static_cast<double>(ops)});
+  series.push_back({"repair_delete", "naive", true,
+                    [ops](World& w) {
+                      for (int i = 0; i < ops; ++i) {
+                        naive_delete_and_repair(w, i);
+                      }
+                    },
+                    static_cast<double>(ops)});
+  return series;
+}
+
+}  // namespace
+
+const HeadToHeadFit* HeadToHeadResult::fit(
+    std::string_view task, std::string_view algo) const noexcept {
+  for (const HeadToHeadFit& f : fits) {
+    if (f.task == task && f.algo == algo) return &f;
+  }
+  return nullptr;
+}
+
+HeadToHeadResult run_headtohead(const HeadToHeadConfig& cfg) {
+  HeadToHeadResult result;
+  result.config = cfg;
+
+  // A cell needs a spanning tree with at least one edge to sever; sizes
+  // below 2 cannot produce one (and n = 0 cannot even build a graph), so
+  // they are dropped from the grid rather than crashing mid-sweep. CLIs
+  // validate and report before getting here.
+  std::vector<std::size_t> sizes;
+  for (const std::size_t n : cfg.sizes) {
+    if (n >= 2) sizes.push_back(n);
+  }
+
+  // The instance edge count is a function of (family, n, first_seed) only
+  // -- identical for every series -- so build each size's graph once for
+  // `m` instead of once per (series, size).
+  std::vector<std::size_t> edge_counts;
+  edge_counts.reserve(sizes.size());
+  for (const std::size_t n : sizes) {
+    edge_counts.push_back(
+        build_graph(cell_scenario(cfg, n, false).graph, cfg.first_seed)
+            .edge_count());
+  }
+
+  for (const SeriesSpec& spec : make_series(cfg)) {
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < sizes.size(); ++i) {
+      const std::size_t n = sizes[i];
+      const Scenario sc = cell_scenario(cfg, n, spec.premark);
+      const std::vector<sim::Metrics> runs =
+          run_sweep(sc, cfg.first_seed, cfg.seeds, spec.body, cfg.threads);
+
+      HeadToHeadCell cell;
+      cell.task = spec.task;
+      cell.algo = spec.algo;
+      cell.n = n;
+      cell.m = edge_counts[i];
+      cell.seeds = static_cast<int>(runs.size());
+      for (const sim::Metrics& run : runs) {
+        cell.messages += static_cast<double>(run.messages);
+        cell.bits += static_cast<double>(run.message_bits);
+        cell.rounds += static_cast<double>(run.rounds);
+        cell.bcast_echoes += static_cast<double>(run.broadcast_echoes);
+      }
+      const double denom =
+          static_cast<double>(runs.empty() ? 1 : runs.size()) *
+          spec.op_divisor;
+      cell.messages /= denom;
+      cell.bits /= denom;
+      cell.rounds /= denom;
+      cell.bcast_echoes /= denom;
+
+      xs.push_back(static_cast<double>(n));
+      ys.push_back(cell.messages);
+      result.cells.push_back(std::move(cell));
+    }
+    if (const auto fit = report::fit_power_law(xs, ys)) {
+      result.fits.push_back(HeadToHeadFit{spec.task, spec.algo, fit->exponent,
+                                          fit->coeff, fit->r2, fit->points});
+    }
+  }
+  return result;
+}
+
+report::ResultFile HeadToHeadResult::to_result_file() const {
+  report::ResultFile f;
+  f.tool = "kkt_headtohead";
+
+  report::RunRecord meta;
+  meta.name = "headtohead-meta";
+  meta.counters["complete_graphs"] = config.complete_graphs ? 1.0 : 0.0;
+  meta.counters["density"] = static_cast<double>(config.density);
+  meta.counters["net_kind"] = static_cast<double>(config.net);
+  meta.counters["first_seed"] = static_cast<double>(config.first_seed);
+  meta.counters["seeds"] = static_cast<double>(config.seeds);
+  meta.counters["ops"] = static_cast<double>(config.ops);
+  f.records.push_back(std::move(meta));
+
+  for (const HeadToHeadCell& c : cells) {
+    report::RunRecord r;
+    r.name = "headtohead/" + c.task + "/" + c.algo +
+             "/n=" + std::to_string(c.n);
+    r.counters["n"] = static_cast<double>(c.n);
+    r.counters["m"] = static_cast<double>(c.m);
+    r.counters["seeds"] = static_cast<double>(c.seeds);
+    r.counters["messages"] = c.messages;
+    r.counters["bits"] = c.bits;
+    r.counters["rounds"] = c.rounds;
+    r.counters["bcast_echoes"] = c.bcast_echoes;
+    f.records.push_back(std::move(r));
+  }
+  for (const HeadToHeadFit& fit : fits) {
+    report::RunRecord r;
+    r.name = "headtohead-fit/" + fit.task + "/" + fit.algo;
+    r.counters["exponent"] = fit.exponent;
+    r.counters["coeff"] = fit.coeff;
+    r.counters["r2"] = fit.r2;
+    r.counters["points"] = static_cast<double>(fit.points);
+    f.records.push_back(std::move(r));
+  }
+  return f;
+}
+
+}  // namespace kkt::scenario

@@ -1,0 +1,102 @@
+// Head-to-head grids: KKT vs the Omega(m) baselines on the same graphs.
+//
+// run_headtohead() executes a task x algorithm x instance-size grid and
+// reduces it to the numbers the paper's claims are judged by:
+//
+//   build_mst      core::build_mst vs baseline::ghs_build_mst vs
+//                  baseline::flood_build_st (the folk-theorem comparator)
+//   find_min       core::find_min vs baseline::naive_find_min_cut on the
+//                  same severed tree edge
+//   repair_delete  a deterministic stream of tree-edge deletions through
+//                  core::MaintenanceSession (the churn dispatch path) vs
+//                  the naive probe-everything repair
+//
+// Per cell, `seeds` runs execute on a scenario::run_sweep grid (parallel
+// across seeds via SweepExecutor; results land in seed slots, so every
+// aggregate is bit-identical at any thread count) and the per-seed model
+// costs are averaged. Per (task, algorithm) series, the message counts are
+// reduced to a fitted power-law exponent (report::fit_power_law over the
+// size grid) -- "o(m) messages" becomes an asserted number: on complete
+// graphs the flooding exponent sits at ~2 (Theta(m) = Theta(n^2)) while
+// KKT BuildMST's stays near 1 (n polylog n). tests/headtohead_test.cc and
+// the CI report stage hold that gap.
+//
+// Determinism: all inputs are seeds and counts; all outputs are model-cost
+// counters and arithmetic over them. Two runs of the same config produce
+// byte-identical artifacts via to_result_file().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/schema.h"
+#include "scenario/scenario.h"
+
+namespace kkt::scenario {
+
+struct HeadToHeadConfig {
+  // Instance sizes (node counts), the x axis of every exponent fit.
+  // Entries below 2 are dropped (no tree edge to sever); at least two
+  // distinct valid sizes are needed for the fits to exist.
+  std::vector<std::size_t> sizes = {64, 128, 256, 512};
+  // Complete graphs (m = n(n-1)/2) make the o(m) gap starkest; with
+  // complete_graphs = false the grid runs connected G(n, density * n).
+  bool complete_graphs = true;
+  std::size_t density = 8;
+  NetKind net = NetKind::kSync;
+  // Seed sweep per cell: seeds first_seed, first_seed + 1, ...
+  std::uint64_t first_seed = 1;
+  int seeds = 3;
+  // Tree-edge deletions per seed in the repair_delete task.
+  int ops = 8;
+  // SweepExecutor threads for the per-cell seed sweeps (<= 0: hardware).
+  int threads = 1;
+};
+
+// One (task, algorithm, n) grid cell: per-seed means of the model costs.
+struct HeadToHeadCell {
+  std::string task;
+  std::string algo;
+  std::size_t n = 0;
+  std::size_t m = 0;
+  int seeds = 0;
+  // Mean model costs over the seed sweep. For repair_delete these are
+  // per-operation means (the per-seed total divided by the op count).
+  double messages = 0.0;
+  double bits = 0.0;
+  double rounds = 0.0;
+  double bcast_echoes = 0.0;
+};
+
+// Fitted power law of a (task, algorithm) message series over n.
+struct HeadToHeadFit {
+  std::string task;
+  std::string algo;
+  double exponent = 0.0;
+  double coeff = 0.0;
+  double r2 = 0.0;
+  std::size_t points = 0;
+};
+
+struct HeadToHeadResult {
+  HeadToHeadConfig config;
+  std::vector<HeadToHeadCell> cells;  // grid order: task, algo, n ascending
+  std::vector<HeadToHeadFit> fits;    // one per (task, algo) series
+
+  const HeadToHeadFit* fit(std::string_view task,
+                           std::string_view algo) const noexcept;
+
+  // The unified artifact (docs/RESULT_SCHEMA.md): one record per cell
+  // ("headtohead/<task>/<algo>/n=<n>"), one per fit
+  // ("headtohead-fit/<task>/<algo>"), plus a "headtohead-meta" provenance
+  // record. Deterministic record order.
+  report::ResultFile to_result_file() const;
+};
+
+// Runs the whole grid. Pure compute; no I/O.
+HeadToHeadResult run_headtohead(const HeadToHeadConfig& cfg = {});
+
+}  // namespace kkt::scenario

@@ -20,6 +20,18 @@
 // Harnesses that predate this library pin their historical net-seed
 // derivations (bench_util, test_util) so fixed-seed model-cost counters
 // stay comparable across PRs.
+//
+// Determinism contract (see docs/ARCHITECTURE.md): a Scenario value plus
+// its seeds fully determines the world and every model-cost counter a run
+// of it produces -- no entropy, time or address is ever read. run_sweep
+// partitions work by seed slot, so its result vector (and any aggregate
+// computed over it) is bit-identical at every thread count.
+//
+// Thread-safety: descriptors (GraphSpec, NetSpec, Scenario) are plain
+// values -- copy freely across threads. A World is single-threaded: it is
+// mutable simulator state owned by exactly one run. run_scenario and
+// run_sweep are safe to call concurrently from distinct threads as long as
+// the bodies touch no shared mutable state.
 #pragma once
 
 #include <cstdint>

@@ -12,6 +12,14 @@
 // The simulator itself is single-threaded per world; parallelism here is
 // across worlds only. Jobs must not touch shared mutable state (the library
 // keeps none -- all randomness flows through per-world Rng instances).
+//
+// Thread-safety: SweepExecutor is immutable after construction; map() may
+// be called concurrently from distinct threads (each call spawns and joins
+// its own workers; no pool state is shared between calls). Exceptions: the
+// first job exception (by worker index) is rethrown after all workers
+// join, so map() never leaks threads. Precondition on Fn: safe to invoke
+// concurrently; postcondition: out[i] == fn(i) for every i, regardless of
+// which worker ran it.
 #pragma once
 
 #include <algorithm>

@@ -12,6 +12,16 @@
 // on a scenario::SweepExecutor. Per-seed results land in seed order and all
 // aggregation happens over that ordered sequence, so every number in
 // ChurnSweepResult is bit-identical regardless of thread count.
+//
+// Preconditions: sc.graph must describe a connected topology (the session
+// starts from the premarked oracle MSF); a non-null `replay` trace must
+// have been generated for a world of the same node count -- ops that no
+// longer resolve are tolerated (applied == false, zero cost), per-op
+// records always line up 1:1 with the trace. Thread-safety: both entry
+// points are safe to call concurrently; each run owns its world. The
+// per-op distributions use nearest-rank percentiles over the seed-ordered
+// sample sequence (workload/stats.h), so they inherit the bit-identical
+// guarantee.
 #pragma once
 
 #include <cstdint>

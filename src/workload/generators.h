@@ -5,6 +5,14 @@
 // stream (deletes name alive edges, inserts name non-edges). Replaying the
 // trace through a MaintenanceSession built on the same starting graph
 // therefore applies every op. Fully deterministic given (graph, spec, seed).
+//
+// Postconditions of generate_trace(): at most spec.ops ops (fewer only
+// when the evolving model runs out of legal moves); every op names two
+// distinct endpoints; insert/reweigh weights lie in [1, spec.max_weight].
+// Generator drift is caught by the golden trace_digest() values pinned in
+// tests/workload_test.cc -- changing a generator means consciously
+// updating those digests. Thread-safety: pure function of its arguments;
+// safe to call concurrently.
 #pragma once
 
 #include <cstdint>

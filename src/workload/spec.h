@@ -5,6 +5,12 @@
 // above scenario and core in the module graph). The spec is pure data --
 // generators that turn it into a concrete UpdateTrace live in
 // workload/generators.h.
+//
+// WorkloadSpec is a plain value: copy freely, share across threads. The
+// name round-trip (workload_name / workload_from_name) is the CLI and
+// trace-header vocabulary; extending WorkloadKind means adding the enum
+// entry, its name, a generator arm, and fresh golden digests in
+// tests/workload_test.cc.
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,12 @@
 // Order statistics over per-op cost samples (the churn engine's aggregate
 // observables: min/mean/p50/p99 messages, bits, rounds per update).
+//
+// aggregate() sorts its own copy of the samples, so the result is
+// independent of sample order -- the property that lets parallel sweeps
+// pool per-seed samples in seed order and still report bit-identical
+// percentiles at any thread count. Percentiles are nearest-rank (exact
+// sample values, no interpolation); an empty sample set aggregates to the
+// zero CostStats. Pure function; safe to call concurrently.
 #pragma once
 
 #include <cstdint>

@@ -16,6 +16,12 @@
 // Node endpoints are internal ids (0-based), stable across replay because
 // the graph is regenerated from the same scenario seed. trace_digest() is
 // the 64-bit fingerprint tests pin to detect generator drift.
+//
+// Format spec with the validity rules and a round-trip example:
+// docs/TRACE_FORMAT.md. Guarantees: read_trace(write_trace(t)) == t for
+// every valid trace; malformed input parses to nullopt with a "line N:"
+// diagnostic, never to a partial trace. UpdateTrace is a plain value --
+// thread-safe to copy and share by const reference.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,266 @@
+// kkt_report: the experiment docs are build outputs.
+//
+//   kkt_report run   [--out FILE] [--sizes 64,128,256,512] [--seeds K]
+//                    [--first-seed S] [--ops K] [--threads T]
+//                    [--net sync|async|adversarial] [--gnm DENSITY]
+//       Runs the KKT-vs-baseline head-to-head grid
+//       (scenario::run_headtohead) and writes the unified artifact
+//       (default BENCH_headtohead.json). Deterministic: the same flags
+//       produce a byte-identical artifact on every run.
+//
+//   kkt_report gen   [--in FILE] [--docs DIR] [--experiments FILE]
+//       Renders the artifact into DIR/headtohead.md (default
+//       docs/experiments) and splices the exponent summary between the
+//       generated markers of the EXPERIMENTS file (skipped when
+//       --experiments is not given).
+//
+//   kkt_report check [--in FILE] [--docs DIR] [--experiments FILE]
+//       Renders into memory and byte-compares against the files on disk;
+//       exits 1 listing every drifted file. This is the CI report stage's
+//       "docs match the artifact" gate.
+//
+// The artifact format is docs/RESULT_SCHEMA.md; --in also accepts the
+// legacy Google Benchmark JSON via the one-release read shim.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "report/render.h"
+#include "report/schema.h"
+#include "scenario/headtohead.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  std::string get(const std::string& key, const std::string& dflt) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt : it->second;
+  }
+  std::uint64_t num(const std::string& key, std::uint64_t dflt) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? dflt
+                          : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool has(const std::string& key) const { return kv.count(key) != 0; }
+};
+
+Args parse_args(int argc, char** argv, int from) {
+  Args a;
+  for (int i = from; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.substr(0, 2) != "--") continue;
+    const std::string key(arg.substr(2));
+    if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) != "--") {
+      a.kv.insert_or_assign(key, std::string(argv[++i]));
+    } else {
+      a.kv.insert_or_assign(key, std::string("1"));
+    }
+  }
+  return a;
+}
+
+std::vector<std::size_t> parse_sizes(const std::string& csv) {
+  std::vector<std::size_t> sizes;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) {
+      sizes.push_back(std::strtoull(item.c_str(), nullptr, 10));
+    }
+  }
+  return sizes;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+bool write_file(const std::string& path, std::string_view text) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  os.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(os);
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+kkt::scenario::HeadToHeadConfig config_from(const Args& a) {
+  kkt::scenario::HeadToHeadConfig cfg;
+  if (a.has("sizes")) cfg.sizes = parse_sizes(a.get("sizes", ""));
+  if (a.has("gnm")) {
+    cfg.complete_graphs = false;
+    cfg.density = a.num("gnm", cfg.density);
+  }
+  if (a.has("net")) {
+    const auto kind = kkt::scenario::net_kind_from_name(a.get("net", "sync"));
+    if (!kind) {
+      std::fprintf(stderr, "error: unknown net kind '%s'\n",
+                   a.get("net", "").c_str());
+      std::exit(2);
+    }
+    cfg.net = *kind;
+  }
+  // --seed is accepted as an alias so the flag vocabulary matches
+  // `kkt_lab report`.
+  cfg.first_seed = a.num("first-seed", a.num("seed", cfg.first_seed));
+  cfg.seeds = static_cast<int>(a.num("seeds", cfg.seeds));
+  cfg.ops = static_cast<int>(a.num("ops", cfg.ops));
+  cfg.threads = static_cast<int>(a.num("threads", cfg.threads));
+  return cfg;
+}
+
+int cmd_run(const Args& a) {
+  const std::string out = a.get("out", "BENCH_headtohead.json");
+  const kkt::scenario::HeadToHeadConfig cfg = config_from(a);
+  if (cfg.sizes.size() < 2) {
+    std::fprintf(stderr, "error: need at least two --sizes to fit a slope\n");
+    return 2;
+  }
+  for (const std::size_t n : cfg.sizes) {
+    if (n < 2) {
+      std::fprintf(stderr,
+                   "error: every --sizes entry must be >= 2 (got %zu)\n", n);
+      return 2;
+    }
+  }
+  const kkt::scenario::HeadToHeadResult result =
+      kkt::scenario::run_headtohead(cfg);
+  const kkt::report::ResultFile file = result.to_result_file();
+  if (!kkt::report::write_results_file(out, file)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("wrote %s: %zu records (schema v%d)\n", out.c_str(),
+              file.records.size(), file.schema_version);
+  for (const auto& fit : result.fits) {
+    std::printf("  %-14s %-6s messages ~ n^%.3f  (r2 %.3f)\n",
+                fit.task.c_str(), fit.algo.c_str(), fit.exponent, fit.r2);
+  }
+  return 0;
+}
+
+// The rendered outputs of one artifact: path -> expected contents. The gen
+// and check subcommands differ only in what they do with this map.
+std::map<std::string, std::string> render_outputs(
+    const kkt::report::ResultFile& file, const Args& a, bool* ok) {
+  *ok = true;
+  std::map<std::string, std::string> outputs;
+  const std::string docs_dir = a.get("docs", "docs/experiments");
+  const std::string source = basename_of(a.get("in", "BENCH_headtohead.json"));
+  outputs[docs_dir + "/headtohead.md"] =
+      kkt::report::render_headtohead_markdown(file, source);
+
+  const std::string experiments = a.get("experiments", "");
+  if (!experiments.empty()) {
+    const auto current = read_file(experiments);
+    if (!current) {
+      std::fprintf(stderr, "error: cannot read %s\n", experiments.c_str());
+      *ok = false;
+      return outputs;
+    }
+    const auto spliced = kkt::report::splice_generated_block(
+        *current, kkt::report::render_experiments_block(file));
+    if (!spliced) {
+      std::fprintf(stderr,
+                   "error: %s lacks the generated-block markers\n  %s\n  %s\n",
+                   experiments.c_str(),
+                   std::string(kkt::report::kGeneratedBeginMarker).c_str(),
+                   std::string(kkt::report::kGeneratedEndMarker).c_str());
+      *ok = false;
+      return outputs;
+    }
+    outputs[experiments] = *spliced;
+  }
+  return outputs;
+}
+
+std::optional<kkt::report::ResultFile> load_artifact(const Args& a) {
+  const std::string in = a.get("in", "BENCH_headtohead.json");
+  std::string err;
+  auto file = kkt::report::read_results_file(in, &err);
+  if (!file) std::fprintf(stderr, "error: %s: %s\n", in.c_str(), err.c_str());
+  return file;
+}
+
+int cmd_gen(const Args& a) {
+  const auto file = load_artifact(a);
+  if (!file) return 2;
+  bool ok = true;
+  const auto outputs = render_outputs(*file, a, &ok);
+  if (!ok) return 2;
+  for (const auto& [path, text] : outputs) {
+    const fs::path parent = fs::path(path).parent_path();
+    std::error_code ec;
+    if (!parent.empty()) fs::create_directories(parent, ec);
+    if (!write_file(path, text)) {
+      std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), text.size());
+  }
+  return 0;
+}
+
+int cmd_check(const Args& a) {
+  const auto file = load_artifact(a);
+  if (!file) return 2;
+  bool ok = true;
+  const auto outputs = render_outputs(*file, a, &ok);
+  if (!ok) return 2;
+  int drifted = 0;
+  for (const auto& [path, text] : outputs) {
+    const auto on_disk = read_file(path);
+    if (!on_disk) {
+      std::fprintf(stderr, "DRIFT: %s missing (run kkt_report gen)\n",
+                   path.c_str());
+      ++drifted;
+    } else if (*on_disk != text) {
+      std::fprintf(stderr,
+                   "DRIFT: %s does not match the artifact "
+                   "(run kkt_report gen and commit)\n",
+                   path.c_str());
+      ++drifted;
+    }
+  }
+  if (drifted == 0) {
+    std::printf("ok: %zu rendered file(s) match the artifact\n",
+                outputs.size());
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: kkt_report run|gen|check [--flags]\n"
+                 "see the header comment of tools/kkt_report.cc\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args a = parse_args(argc, argv, 2);
+  if (cmd == "run") return cmd_run(a);
+  if (cmd == "gen") return cmd_gen(a);
+  if (cmd == "check") return cmd_check(a);
+  std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+  return 2;
+}
