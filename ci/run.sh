@@ -16,6 +16,9 @@
 #                       # BENCH_headtohead.json and fails if the committed
 #                       # docs/experiments tables or the EXPERIMENTS.md
 #                       # generated block drift from the artifact
+#   ci/run.sh lint      # kkt_lint self-scan (determinism/allocation rules,
+#                       # docs/LINT_RULES.md) + clang-tidy build when the
+#                       # binary is available; archives LINT_findings.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -75,14 +78,28 @@ run_report() {
   echo "==> archived BENCH_headtohead.json"
 }
 
+# Lint stage: the `lint` preset builds with KKT_CLANG_TIDY=ON (a warning,
+# not an error, when no clang-tidy binary is installed) and runs the
+# lint-labeled ctest cases (kkt_lint self-scan + seeded-violation check +
+# lint_test unit suite). The self-scan artifact is then regenerated at the
+# repo root so CI can upload LINT_findings.json alongside the bench
+# snapshots.
+run_lint() {
+  run_preset lint
+  echo "==> kkt_lint self-scan artifact"
+  ./build/lint/tools/kkt_lint --root . --format=json --out LINT_findings.json
+  echo "==> archived LINT_findings.json"
+}
+
 case "$stage" in
   dev)    run_preset dev ;;
   asan)   run_preset asan ;;
   tsan)   run_preset tsan ;;
   bench)  run_bench_baseline ;;
   report) run_report ;;
-  all)    run_preset dev; run_preset asan; run_preset tsan ;;
-  *)      echo "usage: $0 [dev|asan|tsan|bench|report|all]" >&2; exit 2 ;;
+  lint)   run_lint ;;
+  all)    run_preset dev; run_preset asan; run_preset tsan; run_lint ;;
+  *)      echo "usage: $0 [dev|asan|tsan|bench|report|lint|all]" >&2; exit 2 ;;
 esac
 
 echo "==> OK [$stage]"

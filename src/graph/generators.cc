@@ -181,10 +181,19 @@ Graph preferential_attachment(std::size_t n, std::size_t k, WeightSpec ws,
     pool.push_back(0);
     pool.push_back(v);
   }
+  // Dedup in draw order: edges are added in the order targets were first
+  // sampled, so the graph is identical on every stdlib (iterating an
+  // unordered_set here would leak hash-bucket order into the adjacency
+  // lists and from there into every counter; kkt_lint unordered-iter).
+  std::vector<NodeId> targets;
+  targets.reserve(k);
   for (auto u = static_cast<NodeId>(k + 1); u < n; ++u) {
-    std::unordered_set<NodeId> targets;
+    targets.clear();
     while (targets.size() < k) {
-      targets.insert(pool[rng.below(pool.size())]);
+      const NodeId t = pool[rng.below(pool.size())];
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
     }
     for (NodeId t : targets) {
       g.add_edge(u, t, draw_weight(ws, rng));

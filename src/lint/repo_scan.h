@@ -1,0 +1,49 @@
+// Repo-layout policy for kkt_lint: which files are scanned, and which rule
+// groups apply where. Shared by the tools/kkt_lint CLI and the lint_test
+// self-scan so "the tree is clean" means the same thing in both.
+//
+// Policy (rationale in docs/LINT_RULES.md):
+//   * src/** and tools/**  (.h/.cc)  -> determinism rules; .h adds hygiene
+//   * tests/**, bench/**   (.h only) -> hygiene rules
+//   * src/util/rng.h                 -> the one sanctioned randomness source
+//   * the wire/transport files       -> hotpath-alloc on top (kHotPathFiles)
+//   * tests/*_test.cc                -> must be registered in
+//                                       tests/CMakeLists.txt
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "lint/lint.h"
+
+namespace kkt::lint {
+
+// The zero-allocation wire path (PR 2): files where tests/alloc_test.cc
+// measures zero allocations per message at runtime and kkt_lint forbids
+// allocating constructs statically.
+inline constexpr std::array<std::string_view, 7> kHotPathFiles = {
+    "src/sim/inline_words.h", "src/sim/message.h", "src/sim/message.cc",
+    "src/sim/network.h",      "src/sim/network.cc", "src/proto/words.h",
+    "src/core/wire.h",
+};
+
+// Rule classes for a repo-relative path ('/'-separated); nullopt when the
+// file is outside the scan policy.
+std::optional<FileClass> classify_path(std::string_view rel_path);
+
+struct RepoReport {
+  std::vector<Finding> findings;
+  int files_scanned = 0;
+  ScanStats stats;
+};
+
+// Walks the repo rooted at `root` (must contain src/), scans every file the
+// policy covers in sorted path order, and checks test registration. When
+// scanning a .cc, unordered-container members declared in the same-named .h
+// are tracked too. Throws std::runtime_error when `root` is not a repo
+// checkout (no src/ directory).
+RepoReport scan_repo(const std::string& root);
+
+}  // namespace kkt::lint

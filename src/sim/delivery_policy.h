@@ -20,8 +20,10 @@
 // or bench explores is replayable.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "graph/types.h"
 #include "util/rng.h"
@@ -101,15 +103,28 @@ class AdversarialPolicy final : public DeliveryPolicy {
   // Override the delay bounds of the single edge {u, v} (both directions).
   void set_edge_bounds(NodeId u, NodeId v, std::uint64_t min_delay,
                        std::uint64_t max_delay) {
-    edge_bounds_[edge_key(u, v)] = {min_delay, max_delay};
+    const std::uint64_t key = edge_key(u, v);
+    const auto it = std::lower_bound(
+        edge_bounds_.begin(), edge_bounds_.end(), key,
+        [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+    if (it != edge_bounds_.end() && it->first == key) {
+      it->second = {min_delay, max_delay};
+    } else {
+      edge_bounds_.insert(it, {key, Bounds{min_delay, max_delay}});
+    }
   }
 
   std::uint64_t delivery_time(NodeId from, NodeId to,
                               std::uint64_t now) override {
     std::uint64_t lo = cfg_.min_delay, hi = cfg_.max_delay;
     if (!edge_bounds_.empty()) {
-      const auto it = edge_bounds_.find(edge_key(from, to));
-      if (it != edge_bounds_.end()) {
+      const std::uint64_t key = edge_key(from, to);
+      const auto it = std::lower_bound(
+          edge_bounds_.begin(), edge_bounds_.end(), key,
+          [](const auto& entry, std::uint64_t k) {
+            return entry.first < k;
+          });
+      if (it != edge_bounds_.end() && it->first == key) {
         lo = it->second.min_delay;
         hi = it->second.max_delay;
       }
@@ -147,7 +162,11 @@ class AdversarialPolicy final : public DeliveryPolicy {
 
   util::Rng rng_;
   AdversarialConfig cfg_;
-  std::unordered_map<std::uint64_t, Bounds> edge_bounds_;
+  // Sorted flat map keyed by edge_key: lookup order (and, unlike a hash
+  // map, iteration order -- should anyone add it) is value-determined,
+  // never allocation- or implementation-determined. The override set is
+  // tiny, so binary search beats hashing here anyway.
+  std::vector<std::pair<std::uint64_t, Bounds>> edge_bounds_;
 };
 
 }  // namespace kkt::sim

@@ -127,6 +127,23 @@ INSTANTIATE_TEST_SUITE_P(
 
 // --- model-cost sanity across families -------------------------------------
 
+// Unordered-container audit pin (satellite of the kkt_lint PR): the
+// preferential-attachment generator now emits edges in draw order, so the
+// model-cost counters on that family are seed-determined on every stdlib.
+// These exact values double as the refactor guard determinism rule 3 asks
+// for -- a sim or graph change that moves them must say so.
+TEST(ModelCosts, PrefattachBuildMstCountersArePinned) {
+  util::Rng rng(7);
+  auto g = std::make_unique<Graph>(
+      graph::preferential_attachment(40, 3, {1u << 12}, rng));
+  World w = test::make_world(std::move(g), 7 * 131);
+  const BuildStats stats = build_mst(*w.net, *w.forest);
+  EXPECT_TRUE(stats.spanning);
+  EXPECT_EQ(w.net->metrics().messages, 1317u);
+  EXPECT_EQ(w.net->metrics().message_bits, 471568u);
+  EXPECT_EQ(w.net->metrics().rounds, 125u);
+}
+
 TEST(ModelCosts, DeepPathRoundsScaleWithDiameter) {
   // Broadcast-and-echo on a path of length n-1 takes ~2(n-1) rounds from an
   // end; the sync simulator must charge exactly that.

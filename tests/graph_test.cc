@@ -178,6 +178,29 @@ TEST(Generators, PreferentialAttachment) {
   EXPECT_EQ(g.edge_count(), 3 + (60 - 4) * 3u);
 }
 
+// Unordered-container audit pin: attachment targets used to be collected in
+// an unordered_set and iterated in hash-bucket order, so the edge list was
+// a property of the stdlib, not of the seed. Targets now dedup in draw
+// order; this digest locks the exact edge sequence for seed 12 on every
+// platform (and fails loudly if order-sensitivity ever creeps back).
+TEST(Generators, PreferentialAttachmentEdgeOrderIsPinned) {
+  util::Rng rng(12);
+  const Graph g = preferential_attachment(60, 3, {1u << 12}, rng);
+  std::uint64_t digest = 1469598103934665603ULL;  // FNV-1a over (u, v, w)
+  const auto mix = [&digest](std::uint64_t x) {
+    for (int b = 0; b < 64; b += 8) {
+      digest ^= (x >> b) & 0xff;
+      digest *= 1099511628211ULL;
+    }
+  };
+  for (EdgeIdx e = 0; e < g.edge_count(); ++e) {
+    mix(g.edge(e).u);
+    mix(g.edge(e).v);
+    mix(g.edge(e).weight);
+  }
+  EXPECT_EQ(digest, 7012765783835588944ULL);
+}
+
 TEST(Generators, GnpEdgeCountPlausible) {
   util::Rng rng(13);
   Graph g = gnp(50, 0.3, {}, rng);

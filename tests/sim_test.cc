@@ -197,6 +197,31 @@ TEST(AdversarialNetwork, PerEdgeDelayBoundsAreHonored) {
   EXPECT_EQ(elapsed, 4 * 9u);
 }
 
+TEST(AdversarialNetwork, EdgeBoundsAreInsertionOrderIndependent) {
+  // Unordered-container audit pin: per-edge bounds now live in a sorted
+  // flat map keyed by the edge id, so the schedule depends only on which
+  // bounds are set -- never on the order the caller installed them in.
+  auto g = path_graph(3, 16);
+  std::uint64_t elapsed[2];
+  for (int i = 0; i < 2; ++i) {
+    AdversarialNetwork::Config cfg;
+    cfg.reorder_window = 0;
+    AdversarialNetwork net(*g, 5, cfg);
+    if (i == 0) {
+      net.adversary().set_edge_bounds(0, 1, 3, 3);
+      net.adversary().set_edge_bounds(1, 2, 7, 7);
+    } else {
+      net.adversary().set_edge_bounds(1, 2, 7, 7);
+      net.adversary().set_edge_bounds(0, 1, 3, 3);
+    }
+    PingPong proto(1, 2, 4);
+    const NodeId participants[] = {1};
+    elapsed[i] = net.run(proto, participants);
+  }
+  EXPECT_EQ(elapsed[0], elapsed[1]);
+  EXPECT_EQ(elapsed[0], 4 * 7u);
+}
+
 TEST(AdversarialNetwork, SeededDuplicatesAreCountedSeparately) {
   // A sink that tolerates duplicate delivery (most protocols do not, which
   // is exactly what this fault-injection knob is for).

@@ -1,0 +1,123 @@
+// kkt_lint CLI: scan the repo for determinism/allocation/hygiene rule
+// violations (src/lint, rule catalogue in docs/LINT_RULES.md).
+//
+//   kkt_lint --root <repo>                 # human-readable findings
+//   kkt_lint --root <repo> --format=json   # machine-readable findings
+//   kkt_lint --root <repo> --out LINT_findings.json   # also write JSON
+//   kkt_lint --list-rules                  # rule IDs, one per line
+//   kkt_lint --extra <file> ...            # scan extra files with every
+//                                          # content rule enabled (CI uses
+//                                          # this to prove the gate trips)
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error. The self-scan runs
+// as a ctest case (label `lint`) and as the CI `lint` stage, so a violation
+// fails the build exactly like a failing test.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/lint.h"
+#include "lint/repo_scan.h"
+#include "report/json.h"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--root DIR] [--format=text|json] [--out FILE]"
+               " [--extra FILE ...] [--list-rules]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string format = "text";
+  std::string out_path;
+  std::vector<std::string> extra_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](std::string* dst) {
+      if (i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
+    if (arg == "--root") {
+      if (!value(&root)) return usage(argv[0]);
+    } else if (arg == "--format=text") {
+      format = "text";
+    } else if (arg == "--format=json") {
+      format = "json";
+    } else if (arg == "--format") {
+      if (!value(&format)) return usage(argv[0]);
+    } else if (arg == "--out") {
+      if (!value(&out_path)) return usage(argv[0]);
+    } else if (arg == "--extra") {
+      std::string f;
+      if (!value(&f)) return usage(argv[0]);
+      extra_files.push_back(f);
+    } else if (arg == "--list-rules") {
+      for (int r = 0; r < kkt::lint::kRuleCount; ++r) {
+        std::cout << kkt::lint::rule_name(
+                         static_cast<kkt::lint::RuleId>(r))
+                  << "\n";
+      }
+      return 0;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (format != "text" && format != "json") return usage(argv[0]);
+
+  kkt::lint::RepoReport report;
+  try {
+    report = kkt::lint::scan_repo(root);
+    for (const std::string& path : extra_files) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::cerr << "kkt_lint: cannot read --extra file " << path << "\n";
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      // Extra files get every content rule: they are scratch probes used
+      // to verify the gate trips, not policy-classified repo files.
+      kkt::lint::FileClass cls;
+      cls.header = path.size() > 2 && path.rfind(".h") == path.size() - 2;
+      cls.determinism = true;
+      cls.hot_path = true;
+      auto found = kkt::lint::scan_file(path, ss.str(), cls, {},
+                                        &report.stats);
+      report.findings.insert(report.findings.end(), found.begin(),
+                             found.end());
+      ++report.files_scanned;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  std::sort(report.findings.begin(), report.findings.end(),
+            kkt::lint::finding_less);
+
+  const kkt::report::JsonValue json = kkt::lint::findings_to_json(
+      report.findings, report.files_scanned, report.stats);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path, std::ios::binary);
+    if (!out) {
+      std::cerr << "kkt_lint: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out << kkt::report::json_serialize(json);
+  }
+  if (format == "json") {
+    std::cout << kkt::report::json_serialize(json);
+  } else {
+    std::cout << kkt::lint::findings_to_text(
+        report.findings, report.files_scanned, report.stats);
+  }
+  return report.findings.empty() ? 0 : 1;
+}
