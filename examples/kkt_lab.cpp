@@ -6,7 +6,7 @@
 //                 [--out FILE]
 //   kkt_lab build --algo kkt-mst|kkt-st|ghs|flood
 //                 (--in FILE | --family ... as above) [--seed S]
-//                 [--net sync|async|adversarial] [--csv]
+//                 [--net sync|async|adversarial] [--repeat N] [--csv]
 //   kkt_lab repair --kind mst|st --ops K
 //                 (--in FILE | --family ...) [--seed S]
 //                 [--net sync|async|adversarial] [--csv]
@@ -35,11 +35,14 @@
 // fitted scaling exponent of every (task, algorithm) series; `--out`
 // additionally writes the unified BENCH_headtohead.json artifact that
 // `kkt_report gen` turns into the experiment docs.
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "baseline/flood_st.h"
 #include "baseline/ghs.h"
@@ -185,43 +188,80 @@ int cmd_build(const Args& a) {
   const kkt::graph::Graph g = make_graph(a, rng);
   const std::string algo = a.get("algo", "kkt-mst");
   const bool csv = a.has("csv");
-  kkt::graph::MarkedForest forest(g);
-  const auto net_ptr = kkt::scenario::make_network(
-      g, make_net_spec(a, kkt::scenario::NetKind::kSync),
-      a.num("seed", 1) ^ 0xbeef);
-  kkt::sim::Network& net = *net_ptr;
-
-  bool ok = false;
-  if (algo == "kkt-mst") {
-    ok = kkt::core::build_mst(net, forest).spanning &&
-         kkt::graph::same_edge_set(forest.marked_edges(),
-                                   kkt::graph::kruskal_msf(g));
-  } else if (algo == "kkt-st") {
-    ok = kkt::core::build_st(net, forest).spanning;
-  } else if (algo == "ghs") {
-    ok = kkt::baseline::ghs_build_mst(net, forest).spanning &&
-         kkt::graph::same_edge_set(forest.marked_edges(),
-                                   kkt::graph::kruskal_msf(g));
-  } else if (algo == "flood") {
-    ok = kkt::baseline::flood_build_st(net, forest).spanning;
-  } else {
+  // --repeat N: rerun the whole build N times (plus one discarded warm-up)
+  // and report min/median wall time. Counters are seed-deterministic, so
+  // every repetition produces the identical bill -- only the clock varies.
+  const int repeat = std::max(1, static_cast<int>(a.num("repeat", 1)));
+  if (algo != "kkt-mst" && algo != "kkt-st" && algo != "ghs" &&
+      algo != "flood") {
     std::fprintf(stderr, "error: unknown algo '%s'\n", algo.c_str());
     return 2;
   }
 
-  const auto before_verify = net.metrics();
-  const auto audit = kkt::core::verify_spanning(net, forest);
+  bool ok = false;
+  bool audit_ok = false;
+  kkt::sim::Metrics before_verify;
+  std::uint64_t audit_msgs = 0;
+
+  const auto run_once = [&]() {
+    kkt::graph::MarkedForest forest(g);
+    const auto net_ptr = kkt::scenario::make_network(
+        g, make_net_spec(a, kkt::scenario::NetKind::kSync),
+        a.num("seed", 1) ^ 0xbeef);
+    kkt::sim::Network& net = *net_ptr;
+    if (algo == "kkt-mst") {
+      ok = kkt::core::build_mst(net, forest).spanning &&
+           kkt::graph::same_edge_set(forest.marked_edges(),
+                                     kkt::graph::kruskal_msf(g));
+    } else if (algo == "kkt-st") {
+      ok = kkt::core::build_st(net, forest).spanning;
+    } else if (algo == "ghs") {
+      ok = kkt::baseline::ghs_build_mst(net, forest).spanning &&
+           kkt::graph::same_edge_set(forest.marked_edges(),
+                                     kkt::graph::kruskal_msf(g));
+    } else {
+      ok = kkt::baseline::flood_build_st(net, forest).spanning;
+    }
+    before_verify = net.metrics();
+    const auto audit = kkt::core::verify_spanning(net, forest);
+    audit_ok = audit.spanning_forest();
+    audit_msgs = net.metrics().messages - before_verify.messages;
+  };
+
+  std::vector<std::uint64_t> wall_ns;
+  wall_ns.reserve(repeat);
+  if (repeat > 1) run_once();  // warm-up, not timed
+  for (int i = 0; i < repeat; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    run_once();
+    const auto t1 = std::chrono::steady_clock::now();
+    wall_ns.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+  }
+
   if (!csv) {
     std::printf("%s on n=%zu m=%zu: %s; distributed audit: %s (%" PRIu64
                 " extra msgs)\n",
                 algo.c_str(), g.node_count(), g.edge_count(),
                 ok ? "correct" : "WRONG",
-                audit.spanning_forest() ? "spanning forest" : "REJECTED",
-                net.metrics().messages - before_verify.messages);
+                audit_ok ? "spanning forest" : "REJECTED", audit_msgs);
   }
   print_metrics(before_verify, g.node_count(), g.edge_count(), csv,
                 algo.c_str());
-  return ok && audit.spanning_forest() ? 0 : 1;
+  if (repeat > 1) {
+    std::sort(wall_ns.begin(), wall_ns.end());
+    const double min_ms = double(wall_ns.front()) / 1e6;
+    const double med_ms = double(wall_ns[(wall_ns.size() - 1) / 2]) / 1e6;
+    if (csv) {
+      std::printf("wall,%d,%.3f,%.3f\n", repeat, min_ms, med_ms);
+    } else {
+      std::printf("wall: min=%.3f ms median=%.3f ms over %d reps "
+                  "(1 warm-up discarded)\n",
+                  min_ms, med_ms, repeat);
+    }
+  }
+  return ok && audit_ok ? 0 : 1;
 }
 
 int cmd_repair(const Args& a) {

@@ -131,16 +131,13 @@ class GhsSearch final : public sim::Protocol {
     st.pending = children;
     // Candidate probes: alive incident edges that are neither in the tree
     // nor already rejected, cheapest first (GHS probes sequentially and
-    // stops at the first accept).
-    for (const graph::Incidence& inc : tree_.graph().incident(self)) {
-      if (tree_.contains(inc.edge) || (*rejected_)[inc.edge]) continue;
-      st.probes.push_back(inc.edge);
+    // stops at the first accept). The graph's aug-sorted incidence index
+    // already walks in that order, so no per-node sort is needed.
+    for (const graph::SortedIncidence& si :
+         tree_.graph().sorted_incident(self)) {
+      if (tree_.contains(si.edge) || (*rejected_)[si.edge]) continue;
+      st.probes.push_back(si.edge);
     }
-    std::sort(st.probes.begin(), st.probes.end(),
-              [this](EdgeIdx a, EdgeIdx b) {
-                return tree_.graph().aug_weight(a) <
-                       tree_.graph().aug_weight(b);
-              });
     (void)my_frag;
     continue_probing(net, self);
   }
@@ -211,6 +208,9 @@ GhsStats ghs_build_mst(sim::Network& net, graph::MarkedForest& forest,
   std::vector<char> rejected(g.edge_slots() + g.node_count() * 4, 0);
   std::vector<std::uint64_t> frag_id(n, 0);
 
+  // One scratch bundle for the whole build (see core/build_mst.cc).
+  proto::ProtoScratch scratch;
+
   for (std::size_t phase = 1; phase <= max_phases; ++phase) {
     auto [label, count] = forest.components();
     if (count == graph_components) {
@@ -222,7 +222,7 @@ GhsStats ghs_build_mst(sim::Network& net, graph::MarkedForest& forest,
     const std::uint64_t msgs_before = net.metrics().messages;
 
     const graph::TreeView tree(forest, static_cast<std::uint32_t>(phase) - 1);
-    proto::TreeOps ops(net, tree);
+    proto::TreeOps ops(net, tree, &scratch);
     const auto frags = fragment_lists(label, count);
 
     // Step 1 (all fragments in parallel): elect leaders; the announcement

@@ -45,6 +45,10 @@ BuildStats build_mst(sim::Network& net, graph::MarkedForest& forest,
   fm.c = cfg.c;
   fm.capped = true;  // FindMin-C, as in the paper's Build MST
 
+  // One scratch bundle for the whole build: the per-node protocol arenas
+  // persist across phases, so each per-fragment op costs O(fragment).
+  proto::ProtoScratch scratch;
+
   for (std::size_t phase = 1; phase <= max_phases; ++phase) {
     auto [label, count] = forest.components();
     if (cfg.stop_when_spanning && count == graph_components) {
@@ -59,7 +63,7 @@ BuildStats build_mst(sim::Network& net, graph::MarkedForest& forest,
     // Fragment structure as of phase start; marks placed now get epoch
     // `phase` and become tree edges next phase.
     const graph::TreeView tree(forest, static_cast<std::uint32_t>(phase) - 1);
-    proto::TreeOps ops(net, tree);
+    proto::TreeOps ops(net, tree, &scratch);
 
     sim::ParallelPhase par(net);
     for (const auto& frag : fragment_lists(label, count)) {

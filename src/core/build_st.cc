@@ -76,6 +76,9 @@ BuildStStats build_st(sim::Network& net, graph::MarkedForest& forest,
   fa.c = cfg.c;
   fa.capped = true;  // FindAny-C, as in the paper's Build ST
 
+  // One scratch bundle for the whole build (see core/build_mst.cc).
+  proto::ProtoScratch scratch;
+
   for (std::size_t phase = 1; phase <= max_phases; ++phase) {
     auto [label, count] = forest.components();
     if (cfg.stop_when_spanning && count == graph_components) {
@@ -88,7 +91,7 @@ BuildStStats build_st(sim::Network& net, graph::MarkedForest& forest,
     const std::uint64_t msgs_before = net.metrics().messages;
 
     const graph::TreeView tree(forest, static_cast<std::uint32_t>(phase) - 1);
-    proto::TreeOps ops(net, tree);
+    proto::TreeOps ops(net, tree, &scratch);
 
     sim::ParallelPhase par(net);
     for (const auto& frag : fragment_lists(label, count)) {

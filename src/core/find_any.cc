@@ -26,10 +26,12 @@ std::uint64_t prefix_parities(proto::TreeOps& ops, NodeId root,
                                     std::span<const std::uint64_t> p) {
     const hashing::PairwiseHash hash(p[0], p[1], static_cast<int>(p[2]));
     const Interval rng{read_u128(p, 3), read_u128(p, 5)};
+    const int en_bits = g.edge_num_bits();
     std::uint64_t bits = 0;
-    for (const graph::Incidence& inc : g.incident(self)) {
-      if (!rng.contains(g.aug_weight(inc.edge))) continue;
-      const std::uint64_t hv = hash(g.edge_num(inc.edge));
+    for (const graph::SortedIncidence& si :
+         g.sorted_incident_range(self, rng.lo, rng.hi)) {
+      const std::uint64_t hv =
+          hash(graph::aug_weight_edge_num(si.aug, en_bits));
       // h(e) < 2^i holds for every i > floor_log2(hv); toggling the suffix
       // mask keeps the whole vector in one word.
       const int first = (hv == 0) ? 0 : util::floor_log2(hv) + 1;
@@ -60,10 +62,11 @@ std::uint64_t xor_below(proto::TreeOps& ops, NodeId root,
     const hashing::PairwiseHash hash(p[0], p[1], static_cast<int>(p[2]));
     const auto bound = std::uint64_t{1} << p[3];
     const Interval rng{read_u128(p, 4), read_u128(p, 6)};
+    const int en_bits = g.edge_num_bits();
     std::uint64_t acc = 0;
-    for (const graph::Incidence& inc : g.incident(self)) {
-      if (!rng.contains(g.aug_weight(inc.edge))) continue;
-      const graph::EdgeNum en = g.edge_num(inc.edge);
+    for (const graph::SortedIncidence& si :
+         g.sorted_incident_range(self, rng.lo, rng.hi)) {
+      const graph::EdgeNum en = graph::aug_weight_edge_num(si.aug, en_bits);
       if (hash(en) < bound) acc ^= en;
     }
     return Words{acc};
@@ -86,12 +89,11 @@ std::uint64_t incident_count(proto::TreeOps& ops, NodeId root,
   const proto::LocalFn local = [&g](NodeId self,
                                     std::span<const std::uint64_t> p) {
     const Interval rng{read_u128(p, 1), read_u128(p, 3)};
+    const int en_bits = g.edge_num_bits();
     std::uint64_t count = 0;
-    for (const graph::Incidence& inc : g.incident(self)) {
-      if (g.edge_num(inc.edge) == p[0] &&
-          rng.contains(g.aug_weight(inc.edge))) {
-        ++count;
-      }
+    for (const graph::SortedIncidence& si :
+         g.sorted_incident_range(self, rng.lo, rng.hi)) {
+      if (graph::aug_weight_edge_num(si.aug, en_bits) == p[0]) ++count;
     }
     return Words{count};
   };

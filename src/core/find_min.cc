@@ -18,10 +18,9 @@ graph::AugWeight max_incident_aug(proto::TreeOps& ops, NodeId root) {
   const graph::Graph& g = ops.graph();
   const proto::LocalFn local = [&g](NodeId self,
                                     std::span<const std::uint64_t>) {
-    graph::AugWeight best = 0;
-    for (const graph::Incidence& inc : g.incident(self)) {
-      best = std::max(best, g.aug_weight(inc.edge));
-    }
+    // Largest incident aug weight == last entry of the sorted index.
+    const std::span<const graph::SortedIncidence> inc = g.sorted_incident(self);
+    const graph::AugWeight best = inc.empty() ? 0 : inc.back().aug;
     Words words;
     push_u128(words, best);
     return words;

@@ -27,15 +27,20 @@ HpTestOutResult run(proto::TreeOps& ops, NodeId root, Interval range,
                                     std::span<const std::uint64_t> payload) {
     const hashing::SetPolynomial poly(payload[0], payload[1]);
     const Interval rng{read_u128(payload, 2), read_u128(payload, 4)};
+    const int en_bits = g.edge_num_bits();
+    const graph::ExtId self_id = g.ext_id(self);
     std::uint64_t up = poly.identity();
     std::uint64_t down = poly.identity();
-    std::uint64_t degree_sum = 0;
-    for (const graph::Incidence& inc : g.incident(self)) {
-      ++degree_sum;
-      if (!rng.contains(g.aug_weight(inc.edge))) continue;
-      const std::uint64_t term = poly.term(g.edge_num(inc.edge));
+    // The up/down products are commutative mod p, so walking the in-range
+    // window of the sorted index yields the same values as the adjacency
+    // scan; the degree sum counts all alive incidences either way.
+    const auto degree_sum = static_cast<std::uint64_t>(g.degree(self));
+    for (const graph::SortedIncidence& si :
+         g.sorted_incident_range(self, rng.lo, rng.hi)) {
+      const std::uint64_t term =
+          poly.term(graph::aug_weight_edge_num(si.aug, en_bits));
       // Orientation: from smaller external ID to larger.
-      if (g.ext_id(self) < g.ext_id(inc.peer)) {
+      if (self_id < g.ext_id(si.peer)) {
         up = poly.combine(up, term);
       } else {
         down = poly.combine(down, term);
@@ -44,12 +49,14 @@ HpTestOutResult run(proto::TreeOps& ops, NodeId root, Interval range,
     return Words{up, down, degree_sum, 1};
   };
 
-  const std::uint64_t modulus = p;
+  // The interior-node products run through the polynomial's Barrett
+  // reciprocal too (identical values to mulmod).
+  const hashing::SetPolynomial combiner(alpha, p);
   const proto::CombineFn combine =
-      [modulus](NodeId, NodeId, graph::EdgeIdx, Words& acc,
-                std::span<const std::uint64_t> child) {
-        acc[0] = util::mulmod(acc[0], child[0], modulus);
-        acc[1] = util::mulmod(acc[1], child[1], modulus);
+      [combiner](NodeId, NodeId, graph::EdgeIdx, Words& acc,
+                 std::span<const std::uint64_t> child) {
+        acc[0] = combiner.combine(acc[0], child[0]);
+        acc[1] = combiner.combine(acc[1], child[1]);
         acc[2] += child[2];
         acc[3] += child[3];
       };

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <limits>
 
+#include "util/modmath.h"
+
 namespace kkt::core {
 namespace {
 
@@ -31,13 +33,19 @@ std::uint64_t test_out_sliced(proto::TreeOps& ops, NodeId root,
     const hashing::OddHash hash(payload[0], payload[1]);
     const Interval rng{read_u128(payload, 2), read_u128(payload, 4)};
     const int slices = static_cast<int>(payload[6]);
+    // Slice geometry is loop-invariant: one reciprocal up front replaces a
+    // 128-bit division per in-range edge. The sorted index narrows the walk
+    // to the in-range window, and each entry carries its edge number in the
+    // low bits of the augmented weight. XOR order is immaterial.
+    const util::Recip128 width(slice_width(rng, slices));
+    const int en_bits = g.edge_num_bits();
     std::uint64_t bits = 0;
-    for (const graph::Incidence& inc : g.incident(self)) {
-      const graph::AugWeight aug = g.aug_weight(inc.edge);
-      if (!rng.contains(aug)) continue;
-      if (hash(g.edge_num(inc.edge))) {
-        bits ^= std::uint64_t{1} << slice_index(rng, slices, aug);
-      }
+    for (const graph::SortedIncidence& si :
+         g.sorted_incident_range(self, rng.lo, rng.hi)) {
+      const auto idx = static_cast<unsigned>(width.div(si.aug - rng.lo));
+      assert(idx < static_cast<unsigned>(slices));
+      bits ^= (std::uint64_t{1} << idx)
+              & hash.mask(graph::aug_weight_edge_num(si.aug, en_bits));
     }
     return Words{bits};
   };
@@ -69,20 +77,24 @@ std::uint64_t test_out_sliced_amplified(proto::TreeOps& ops, NodeId root,
     const Interval rng{read_u128(p, 1), read_u128(p, 3)};
     const int slices = static_cast<int>(p[5]);
     const int repetitions = static_cast<int>(p[6]);
-    Words parities(repetitions, 0);
-    std::vector<hashing::OddHash> hashes;
-    hashes.reserve(repetitions);
+    // Fixed-capacity hash bank (reps <= kMaxMessageWords by construction):
+    // no per-call allocation, and the inner loop is a branch-free sweep of
+    // mask-and-xor updates over the bank.
+    const util::Recip128 width(slice_width(rng, slices));
+    const int en_bits = g.edge_num_bits();
+    hashing::OddHash bank[sim::kMaxMessageWords];
     for (int r = 0; r < repetitions; ++r) {
-      hashes.push_back(hashing::OddHash::from_seed(sd, r));
+      bank[r] = hashing::OddHash::from_seed(sd, r);
     }
-    for (const graph::Incidence& inc : g.incident(self)) {
-      const graph::AugWeight aug = g.aug_weight(inc.edge);
-      if (!rng.contains(aug)) continue;
-      const std::uint64_t bit = std::uint64_t{1}
-                                << slice_index(rng, slices, aug);
-      const graph::EdgeNum en = g.edge_num(inc.edge);
+    Words parities(repetitions, 0);
+    for (const graph::SortedIncidence& si :
+         g.sorted_incident_range(self, rng.lo, rng.hi)) {
+      const auto idx = static_cast<unsigned>(width.div(si.aug - rng.lo));
+      assert(idx < static_cast<unsigned>(slices));
+      const std::uint64_t bit = std::uint64_t{1} << idx;
+      const graph::EdgeNum en = graph::aug_weight_edge_num(si.aug, en_bits);
       for (int r = 0; r < repetitions; ++r) {
-        if (hashes[r](en)) parities[r] ^= bit;
+        parities[r] ^= bit & bank[r].mask(en);
       }
     }
     return parities;

@@ -10,11 +10,9 @@
 
 namespace kkt::graph {
 
-void MarkedForest::ensure_size(EdgeIdx e) const {
-  if (marks_.size() <= e) {
-    marks_.resize(e + 1, 0);
-    epochs_.resize(e + 1, 0);
-  }
+void MarkedForest::grow(EdgeIdx e) const {
+  marks_.resize(e + 1, 0);
+  epochs_.resize(e + 1, 0);
 }
 
 int MarkedForest::slot(EdgeIdx e, NodeId endpoint) const {
@@ -67,15 +65,6 @@ void MarkedForest::clear_edge(EdgeIdx e) {
 
 void MarkedForest::clear_all() {
   std::fill(marks_.begin(), marks_.end(), 0);
-}
-
-bool MarkedForest::is_marked(EdgeIdx e) const {
-  ensure_size(e);
-  return marks_[e] == 3 && graph_->alive(e);
-}
-
-bool MarkedForest::is_marked_at(EdgeIdx e, std::uint32_t epoch_limit) const {
-  return is_marked(e) && epochs_[e] <= epoch_limit;
 }
 
 bool MarkedForest::properly_marked() const {

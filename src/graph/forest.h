@@ -43,10 +43,17 @@ class MarkedForest {
   void clear_all();
 
   // An edge is in the maintained forest iff both halves are marked.
-  bool is_marked(EdgeIdx e) const;
+  // Inline: this is the filter predicate of every TreeView neighbor walk,
+  // the single hottest call in the protocol layer.
+  bool is_marked(EdgeIdx e) const {
+    ensure_size(e);
+    return marks_[e] == 3 && graph_->alive(e);
+  }
 
   // Marked and placed no later than the given epoch.
-  bool is_marked_at(EdgeIdx e, std::uint32_t epoch_limit) const;
+  bool is_marked_at(EdgeIdx e, std::uint32_t epoch_limit) const {
+    return is_marked(e) && epochs_[e] <= epoch_limit;
+  }
 
   // Every edge has zero or two marked halves.
   bool properly_marked() const;
@@ -74,7 +81,10 @@ class MarkedForest {
   const Graph& graph() const noexcept { return *graph_; }
 
  private:
-  void ensure_size(EdgeIdx e) const;
+  void ensure_size(EdgeIdx e) const {
+    if (marks_.size() <= e) grow(e);
+  }
+  void grow(EdgeIdx e) const;  // out-of-line slow path of ensure_size
   // Returns 0 or 1 for the endpoint's slot in marks_.
   int slot(EdgeIdx e, NodeId endpoint) const;
 

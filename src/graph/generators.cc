@@ -20,9 +20,42 @@ std::uint64_t pair_key(NodeId u, NodeId v) {
   return (static_cast<std::uint64_t>(lo) << 32) | hi;
 }
 
+// Membership filter over unordered node pairs. For the node counts the
+// benches and tests use, a flat n*n bitset makes the dense-graph rejection
+// loop O(1) per draw; larger graphs fall back to a hash set. Only lookup
+// speed differs -- the draw sequence, and therefore the generated graph,
+// is identical on both paths.
+class PairFilter {
+ public:
+  explicit PairFilter(std::size_t n) : n_(n) {
+    if (n_ <= kBitsetMaxNodes) bits_.assign((n_ * n_ + 63) / 64, 0);
+  }
+
+  // Records {u, v}; true if it was absent.
+  bool insert(NodeId u, NodeId v) {
+    if (!bits_.empty()) {
+      const NodeId lo = std::min(u, v), hi = std::max(u, v);
+      const std::size_t idx = static_cast<std::size_t>(lo) * n_ + hi;
+      std::uint64_t& word = bits_[idx >> 6];
+      const std::uint64_t mask = std::uint64_t{1} << (idx & 63);
+      if ((word & mask) != 0) return false;
+      word |= mask;
+      return true;
+    }
+    return set_.insert(pair_key(u, v)).second;
+  }
+
+ private:
+  static constexpr std::size_t kBitsetMaxNodes = 8192;  // 8 MB of bits
+
+  std::size_t n_;
+  std::vector<std::uint64_t> bits_;
+  std::unordered_set<std::uint64_t> set_;
+};
+
 // Adds a uniform-random-attachment spanning tree over nodes [0, n).
-void add_random_tree_edges(Graph& g, std::unordered_set<std::uint64_t>& used,
-                           const WeightSpec& ws, util::Rng& rng) {
+void add_random_tree_edges(Graph& g, PairFilter& used, const WeightSpec& ws,
+                           util::Rng& rng) {
   const std::size_t n = g.node_count();
   // Random permutation so the attachment order is not index-biased.
   std::vector<NodeId> order(n);
@@ -34,7 +67,7 @@ void add_random_tree_edges(Graph& g, std::unordered_set<std::uint64_t>& used,
     const NodeId u = order[i];
     const NodeId v = order[rng.below(i)];
     g.add_edge(u, v, draw_weight(ws, rng));
-    used.insert(pair_key(u, v));
+    used.insert(u, v);
   }
 }
 
@@ -49,13 +82,14 @@ Graph random_connected_gnm(std::size_t n, std::size_t m, WeightSpec ws,
   assert(n >= 1);
   assert(m + 1 >= n && m <= n * (n - 1) / 2);
   Graph g(n, rng);
-  std::unordered_set<std::uint64_t> used;
+  g.reserve_edges(m);
+  PairFilter used(n);
   if (n >= 2) add_random_tree_edges(g, used, ws, rng);
   while (g.edge_count() < m) {
     const auto u = static_cast<NodeId>(rng.below(n));
     const auto v = static_cast<NodeId>(rng.below(n));
     if (u == v) continue;
-    if (!used.insert(pair_key(u, v)).second) continue;
+    if (!used.insert(u, v)) continue;
     g.add_edge(u, v, draw_weight(ws, rng));
   }
   return g;
@@ -74,6 +108,7 @@ Graph gnp(std::size_t n, double p, WeightSpec ws, util::Rng& rng) {
 
 Graph complete(std::size_t n, WeightSpec ws, util::Rng& rng) {
   Graph g(n, rng);
+  g.reserve_edges(n * (n - 1) / 2);
   for (NodeId u = 0; u + 1 < n; ++u) {
     for (NodeId v = u + 1; v < n; ++v) {
       g.add_edge(u, v, draw_weight(ws, rng));

@@ -37,12 +37,18 @@ int Graph::infer_id_bits(const std::vector<ExtId>& ids) {
 }
 
 Graph::Graph(std::size_t n, util::Rng& rng, int id_bits)
-    : adjacency_(n), ext_ids_(random_ext_ids(n, rng, id_bits)) {
+    : adjacency_(n),
+      ext_ids_(random_ext_ids(n, rng, id_bits)),
+      sorted_adj_(n),
+      sorted_stale_(n, 1) {
   id_bits_ = infer_id_bits(ext_ids_);
 }
 
 Graph::Graph(std::vector<ExtId> ext_ids)
-    : adjacency_(ext_ids.size()), ext_ids_(std::move(ext_ids)) {
+    : adjacency_(ext_ids.size()),
+      ext_ids_(std::move(ext_ids)),
+      sorted_adj_(ext_ids_.size()),
+      sorted_stale_(ext_ids_.size(), 1) {
   id_bits_ = infer_id_bits(ext_ids_);
 #ifndef NDEBUG
   std::unordered_set<ExtId> seen;
@@ -60,6 +66,7 @@ EdgeIdx Graph::add_edge(NodeId u, NodeId v, Weight w) {
   edges_.push_back(Edge{u, v, w, /*alive=*/true});
   adjacency_[u].push_back(Incidence{v, e});
   adjacency_[v].push_back(Incidence{u, e});
+  touch_sorted(u, v);
   ++alive_edges_;
   return e;
 }
@@ -70,12 +77,29 @@ void Graph::remove_edge(EdgeIdx e) {
   ed.alive = false;
   unlink_from_adjacency(ed.u, e);
   unlink_from_adjacency(ed.v, e);
+  touch_sorted(ed.u, ed.v);
   --alive_edges_;
 }
 
 void Graph::set_weight(EdgeIdx e, Weight w) {
   assert(e < edges_.size() && edges_[e].alive);
   edges_[e].weight = w;
+  touch_sorted(edges_[e].u, edges_[e].v);
+}
+
+void Graph::rebuild_sorted(NodeId v) const {
+  std::vector<SortedIncidence>& out = sorted_adj_[v];
+  out.clear();
+  out.reserve(adjacency_[v].size());
+  for (const Incidence& inc : adjacency_[v]) {
+    out.push_back(SortedIncidence{aug_weight(inc.edge), inc.edge, inc.peer});
+  }
+  // Augmented weights are unique, so this order is total and deterministic.
+  std::sort(out.begin(), out.end(),
+            [](const SortedIncidence& a, const SortedIncidence& b) {
+              return a.aug < b.aug;
+            });
+  sorted_stale_[v] = 0;
 }
 
 void Graph::unlink_from_adjacency(NodeId v, EdgeIdx e) {
@@ -90,17 +114,6 @@ void Graph::unlink_from_adjacency(NodeId v, EdgeIdx e) {
 std::optional<NodeId> Graph::node_of_ext(ExtId id) const {
   for (NodeId v = 0; v < node_count(); ++v) {
     if (ext_ids_[v] == id) return v;
-  }
-  return std::nullopt;
-}
-
-std::optional<EdgeIdx> Graph::find_edge(NodeId u, NodeId v) const {
-  assert(u < node_count() && v < node_count());
-  const auto& adj =
-      adjacency_[u].size() <= adjacency_[v].size() ? adjacency_[u] : adjacency_[v];
-  const NodeId target = adjacency_[u].size() <= adjacency_[v].size() ? v : u;
-  for (const Incidence& inc : adj) {
-    if (inc.peer == target) return inc.edge;
   }
   return std::nullopt;
 }

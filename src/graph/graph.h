@@ -7,9 +7,11 @@
 // stable.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/types.h"
@@ -35,6 +37,16 @@ struct Incidence {
   EdgeIdx edge;
 };
 
+// Entry of the per-node augmented-weight-sorted incidence index. The edge
+// number is recoverable from the low bits of `aug`, so a range-filtered
+// walk touches only this contiguous array -- no per-edge loads from the
+// edge table or the external-ID table.
+struct SortedIncidence {
+  AugWeight aug;
+  EdgeIdx edge;
+  NodeId peer;
+};
+
 class Graph {
  public:
   // Creates a graph on n isolated nodes with distinct random external IDs
@@ -56,6 +68,10 @@ class Graph {
 
   // Deletes an edge. Its slot stays allocated but dead.
   void remove_edge(EdgeIdx e);
+
+  // Capacity hint for bulk construction (generators): avoids repeated
+  // reallocation of the edge table while inserting m edges.
+  void reserve_edges(std::size_t m) { edges_.reserve(m); }
 
   // Changes the weight of an alive edge (augmented weight changes with it).
   void set_weight(EdgeIdx e, Weight w);
@@ -100,7 +116,45 @@ class Graph {
   }
 
   // The alive edge {u, v}, if present.
-  std::optional<EdgeIdx> find_edge(NodeId u, NodeId v) const;
+  // Inline: the broadcast-and-echo layer resolves {self, from} to an edge
+  // on every echo, so the smaller-adjacency scan must not be a call.
+  std::optional<EdgeIdx> find_edge(NodeId u, NodeId v) const {
+    assert(u < node_count() && v < node_count());
+    const bool u_smaller = adjacency_[u].size() <= adjacency_[v].size();
+    const auto& adj = u_smaller ? adjacency_[u] : adjacency_[v];
+    const NodeId target = u_smaller ? v : u;
+    for (const Incidence& inc : adj) {
+      if (inc.peer == target) return inc.edge;
+    }
+    return std::nullopt;
+  }
+
+  // Alive incident edges of v sorted by augmented weight, lazily rebuilt
+  // per node after a mutation touching v. The range-filtered walks of
+  // TestOut / HP-TestOut / FindAny and the GHS probe setup read this index
+  // instead of scanning (and re-deriving weights from) the adjacency list.
+  std::span<const SortedIncidence> sorted_incident(NodeId v) const {
+    assert(v < node_count());
+    if (sorted_stale_[v]) rebuild_sorted(v);
+    return sorted_adj_[v];
+  }
+
+  // The window of sorted_incident(v) with aug weights in [lo, hi].
+  std::span<const SortedIncidence> sorted_incident_range(
+      NodeId v, AugWeight lo, AugWeight hi) const {
+    const std::span<const SortedIncidence> s = sorted_incident(v);
+    const SortedIncidence* first =
+        std::lower_bound(s.data(), s.data() + s.size(), lo,
+                         [](const SortedIncidence& si, AugWeight x) {
+                           return si.aug < x;
+                         });
+    const SortedIncidence* last =
+        std::upper_bound(first, s.data() + s.size(), hi,
+                         [](AugWeight x, const SortedIncidence& si) {
+                           return x < si.aug;
+                         });
+    return {first, last};
+  }
 
   // Largest raw weight / edge number over alive edges (0 if none).
   Weight max_weight() const noexcept;
@@ -111,11 +165,19 @@ class Graph {
 
  private:
   void unlink_from_adjacency(NodeId v, EdgeIdx e);
+  void rebuild_sorted(NodeId v) const;  // slow path of sorted_incident
+  void touch_sorted(NodeId u, NodeId v) {
+    sorted_stale_[u] = 1;
+    sorted_stale_[v] = 1;
+  }
   static int infer_id_bits(const std::vector<ExtId>& ids);
 
   std::vector<Edge> edges_;
   std::vector<std::vector<Incidence>> adjacency_;
   std::vector<ExtId> ext_ids_;
+  // Aug-sorted incidence index; stale entries rebuilt on demand.
+  mutable std::vector<std::vector<SortedIncidence>> sorted_adj_;
+  mutable std::vector<char> sorted_stale_;
   int id_bits_ = kMaxIdBits;
   std::size_t alive_edges_ = 0;
 };

@@ -24,12 +24,21 @@ KarpRabinFingerprinter::KarpRabinFingerprinter(std::uint64_t n, int c,
   std::uint64_t candidate = window_lo + rng.below(window_lo);
   p_ = util::next_prime(candidate);
   if (p_ >= 2 * window_lo) p_ = util::next_prime(window_lo);
+  bar_ = util::Barrett(p_);
 }
 
-std::uint64_t KarpRabinFingerprinter::fingerprint(
-    util::u128 id) const noexcept {
-  // id mod p via 128-bit division (fine off the message path).
-  return static_cast<std::uint64_t>(id % p_);
+void KarpRabinFingerprinter::fingerprint_many(
+    std::span<const util::u128> ids,
+    std::span<std::uint64_t> out) const noexcept {
+  assert(out.size() >= ids.size());
+  std::size_t i = 0;
+  for (; i + 4 <= ids.size(); i += 4) {
+    out[i] = bar_.reduce(ids[i]);
+    out[i + 1] = bar_.reduce(ids[i + 1]);
+    out[i + 2] = bar_.reduce(ids[i + 2]);
+    out[i + 3] = bar_.reduce(ids[i + 3]);
+  }
+  for (; i < ids.size(); ++i) out[i] = bar_.reduce(ids[i]);
 }
 
 bool KarpRabinFingerprinter::all_distinct(

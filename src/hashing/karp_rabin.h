@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "util/modmath.h"
@@ -22,8 +23,17 @@ class KarpRabinFingerprinter {
   // probability <= n^-c. Chooses a random prime modulus.
   KarpRabinFingerprinter(std::uint64_t n, int c, util::Rng& rng);
 
-  // Fingerprint of a (up to) 128-bit identity: value mod p.
-  std::uint64_t fingerprint(util::u128 id) const noexcept;
+  // Fingerprint of a (up to) 128-bit identity: value mod p, by Barrett
+  // multiply-high reduction (bit-identical to id % p, no 128-bit division).
+  std::uint64_t fingerprint(util::u128 id) const noexcept {
+    return bar_.reduce(id);
+  }
+
+  // Fingerprint a batch, four independent reductions per iteration so the
+  // multiply chains overlap. Writes out[i] = fingerprint(ids[i]).
+  // Precondition: out.size() >= ids.size().
+  void fingerprint_many(std::span<const util::u128> ids,
+                        std::span<std::uint64_t> out) const noexcept;
 
   std::uint64_t modulus() const noexcept { return p_; }
 
@@ -32,6 +42,7 @@ class KarpRabinFingerprinter {
 
  private:
   std::uint64_t p_;
+  util::Barrett bar_{2};  // re-seated onto p_ by the constructor
 };
 
 }  // namespace kkt::hashing

@@ -49,12 +49,20 @@ class OddHash {
     return multiplier_ * x <= threshold_;  // wraparound == mod 2^64
   }
 
-  // Parity (mod-2 sum) of h over a range of keys.
+  // All-ones word iff h(x) == 1, else zero: batched evaluators (TestOut's
+  // sliced parities) fold this into their accumulators branch-free, since
+  // h fires on roughly half the keys and the branch would be unpredictable.
+  constexpr std::uint64_t mask(std::uint64_t x) const noexcept {
+    return 0 - static_cast<std::uint64_t>(multiplier_ * x <= threshold_);
+  }
+
+  // Parity (mod-2 sum) of h over a range of keys. XOR of full-width masks;
+  // no per-key branch.
   template <typename Iter>
   constexpr bool parity(Iter first, Iter last) const noexcept {
-    bool par = false;
-    for (; first != last; ++first) par ^= (*this)(*first);
-    return par;
+    std::uint64_t acc = 0;
+    for (; first != last; ++first) acc ^= mask(*first);
+    return (acc & 1) != 0;
   }
 
   // Wire format: exactly two message words.

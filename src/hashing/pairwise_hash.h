@@ -40,10 +40,13 @@ class PairwiseHash {
     return PairwiseHash(a, b, range_bits);
   }
 
-  // h(x) in [0, 2^range_bits).
+  // h(x) in [0, 2^range_bits). The modular multiply runs through the
+  // compile-time Barrett reciprocal of the fixed prime (no division);
+  // values are bit-identical to mulmod.
   constexpr std::uint64_t operator()(std::uint64_t x) const noexcept {
-    const std::uint64_t v = util::addmod(
-        util::mulmod(a_, x, util::kPrimeBelow63), b_, util::kPrimeBelow63);
+    constexpr util::Barrett kBar(util::kPrimeBelow63);
+    const std::uint64_t v =
+        util::addmod(kBar.mul(a_, x), b_, util::kPrimeBelow63);
     return v & ((std::uint64_t{1} << range_bits_) - 1);
   }
 

@@ -19,11 +19,12 @@
 
 namespace kkt::hashing {
 
-// Evaluator for P(D)(alpha) over Z_p. Copyable, two words of state.
+// Evaluator for P(D)(alpha) over Z_p. Copyable; serializes to two words
+// (alpha, p) -- the Barrett reciprocal is derived, not wire state.
 class SetPolynomial {
  public:
   constexpr SetPolynomial(std::uint64_t alpha, std::uint64_t p) noexcept
-      : alpha_(alpha % p), p_(p) {}
+      : alpha_(alpha % p), p_(p), bar_(p) {}
 
   static SetPolynomial random(util::Rng& rng,
                               std::uint64_t p = util::kPrimeBelow63) noexcept {
@@ -32,22 +33,33 @@ class SetPolynomial {
 
   // prod_{e in elems} (alpha - e) mod p. Elements are reduced mod p first;
   // with the default p > 2^62 > maxEdgeNum the reduction is the identity.
+  // Four independent accumulators keep the Barrett multiply chains
+  // overlapped; the reassociation is exact (multiplication mod p is
+  // commutative and associative), so the value is unchanged.
   constexpr std::uint64_t evaluate(
       std::span<const std::uint64_t> elems) const noexcept {
-    std::uint64_t acc = 1 % p_;
-    for (std::uint64_t e : elems) acc = util::mulmod(acc, term(e), p_);
-    return acc;
+    const std::uint64_t one = 1 % p_;
+    std::uint64_t a0 = one, a1 = one, a2 = one, a3 = one;
+    std::size_t i = 0;
+    for (; i + 4 <= elems.size(); i += 4) {
+      a0 = bar_.mul(a0, term(elems[i]));
+      a1 = bar_.mul(a1, term(elems[i + 1]));
+      a2 = bar_.mul(a2, term(elems[i + 2]));
+      a3 = bar_.mul(a3, term(elems[i + 3]));
+    }
+    for (; i < elems.size(); ++i) a0 = bar_.mul(a0, term(elems[i]));
+    return bar_.mul(bar_.mul(a0, a1), bar_.mul(a2, a3));
   }
 
   // Single factor (alpha - e) mod p.
   constexpr std::uint64_t term(std::uint64_t e) const noexcept {
-    return util::submod(alpha_, e % p_, p_);
+    return util::submod(alpha_, bar_.reduce(e), p_);
   }
 
   // Combine partial products (the interior-node step of the echo).
   constexpr std::uint64_t combine(std::uint64_t x,
                                   std::uint64_t y) const noexcept {
-    return util::mulmod(x, y, p_);
+    return bar_.mul(x, y);
   }
 
   // Multiplicative identity, the value contributed by an empty edge set.
@@ -59,6 +71,7 @@ class SetPolynomial {
  private:
   std::uint64_t alpha_;
   std::uint64_t p_;
+  util::Barrett bar_;  // division-free reduction mod p_
 };
 
 // Upper bound on the false-equality probability for multisets of total size

@@ -6,12 +6,15 @@
 namespace kkt::proto {
 
 Broadcast::Broadcast(const graph::TreeView& tree, NodeId root, Words payload,
-                     ReceiveFn on_receive)
+                     ReceiveFn on_receive, EpochSeen* seen)
     : tree_(tree),
       root_(root),
       payload_(std::move(payload)),
       on_receive_(std::move(on_receive)),
-      seen_(tree.graph().node_count(), 0) {}
+      seen_(seen != nullptr ? seen : &own_seen_) {
+  seen_->ensure(tree.graph().node_count());
+  seen_->next_run();
+}
 
 void Broadcast::on_start(sim::Network& net, NodeId self) {
   assert(self == root_);
@@ -26,8 +29,8 @@ void Broadcast::on_message(sim::Network& net, NodeId self, NodeId from,
 
 void Broadcast::relay(sim::Network& net, NodeId self, NodeId from,
                       std::span<const std::uint64_t> payload) {
-  assert(!seen_[self] && "tree contains a cycle");
-  seen_[self] = 1;
+  assert(!seen_->seen(self) && "tree contains a cycle");
+  seen_->mark(self);
   // Relay strictly before acting: receive actions may unmark edges (the
   // Drop-Edge broadcast), and the token must cross an edge before either
   // endpoint's action can remove that edge from the relaying node's view.
@@ -43,13 +46,16 @@ void Broadcast::relay(sim::Network& net, NodeId self, NodeId from,
 AddEdgeHandshake::AddEdgeHandshake(graph::MarkedForest& forest,
                                    graph::TreeView tree, NodeId root,
                                    graph::EdgeNum edge_num,
-                                   std::uint32_t epoch)
+                                   std::uint32_t epoch, EpochSeen* seen)
     : forest_(&forest),
       tree_(std::move(tree)),
       root_(root),
       edge_num_(edge_num),
       epoch_(epoch),
-      seen_(tree_.graph().node_count(), 0) {}
+      seen_(seen != nullptr ? seen : &own_seen_) {
+  seen_->ensure(tree_.graph().node_count());
+  seen_->next_run();
+}
 
 void AddEdgeHandshake::on_start(sim::Network& net, NodeId self) {
   assert(self == root_);
@@ -77,8 +83,8 @@ void AddEdgeHandshake::on_message(sim::Network& net, NodeId self, NodeId from,
 
 void AddEdgeHandshake::relay_and_check(sim::Network& net, NodeId self,
                                        NodeId from) {
-  assert(!seen_[self] && "tree contains a cycle");
-  seen_[self] = 1;
+  assert(!seen_->seen(self) && "tree contains a cycle");
+  seen_->mark(self);
   for (const graph::Incidence& inc : tree_.neighbors(self)) {
     if (inc.peer == from) continue;
     net.send(self, inc.peer,

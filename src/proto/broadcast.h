@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/forest.h"
+#include "proto/scratch.h"
 #include "proto/words.h"
 #include "sim/network.h"
 
@@ -31,8 +32,11 @@ class Broadcast final : public sim::Protocol {
   using ReceiveFn =
       std::function<void(NodeId self, std::span<const std::uint64_t> payload)>;
 
+  // `seen` may be shared across broadcasts (see TreeOps): the membership
+  // stamps are reused, so a broadcast costs O(tree), not O(n). When null,
+  // a private arena is used.
   Broadcast(const graph::TreeView& tree, NodeId root, Words payload,
-            ReceiveFn on_receive = {});
+            ReceiveFn on_receive = {}, EpochSeen* seen = nullptr);
 
   void on_start(sim::Network& net, NodeId self) override;
   void on_message(sim::Network& net, NodeId self, NodeId from,
@@ -46,14 +50,16 @@ class Broadcast final : public sim::Protocol {
   NodeId root_;
   Words payload_;
   ReceiveFn on_receive_;
-  std::vector<char> seen_;
+  EpochSeen own_seen_;  // used only when no shared arena was provided
+  EpochSeen* seen_;
 };
 
 class AddEdgeHandshake final : public sim::Protocol {
  public:
   // Marks the alive edge with the given edge number; both marks get `epoch`.
   AddEdgeHandshake(graph::MarkedForest& forest, graph::TreeView tree,
-                   NodeId root, graph::EdgeNum edge_num, std::uint32_t epoch);
+                   NodeId root, graph::EdgeNum edge_num, std::uint32_t epoch,
+                   EpochSeen* seen = nullptr);
 
   void on_start(sim::Network& net, NodeId self) override;
   void on_message(sim::Network& net, NodeId self, NodeId from,
@@ -70,7 +76,8 @@ class AddEdgeHandshake final : public sim::Protocol {
   NodeId root_;
   graph::EdgeNum edge_num_;
   std::uint32_t epoch_;
-  std::vector<char> seen_;
+  EpochSeen own_seen_;  // used only when no shared arena was provided
+  EpochSeen* seen_;
   bool completed_ = false;
 };
 

@@ -7,7 +7,7 @@ namespace kkt::proto {
 
 BroadcastEcho::BroadcastEcho(const graph::TreeView& tree, NodeId root,
                              Words payload, LocalFn local, CombineFn combine,
-                             Scratch* scratch)
+                             EchoScratch* scratch)
     : tree_(tree),
       root_(root),
       payload_(std::move(payload)),
@@ -20,11 +20,13 @@ BroadcastEcho::BroadcastEcho(const graph::TreeView& tree, NodeId root,
 
 void BroadcastEcho::start_node(sim::Network& net, NodeId self, NodeId parent,
                                std::span<const std::uint64_t> payload) {
-  NodeState& st = scratch_->node(self);
-  assert(!st.started && "tree contains a cycle: broadcast arrived twice");
-  st.started = true;
-  st.parent = parent;
-  st.acc = local_(self, payload);
+  scratch_->touch(self);
+  assert(!scratch_->started(self) &&
+         "tree contains a cycle: broadcast arrived twice");
+  scratch_->set_started(self);
+  scratch_->parent(self) = parent;
+  Words& acc = scratch_->acc(self);
+  acc = local_(self, payload);
   std::uint32_t children = 0;
   for (const graph::Incidence& inc : tree_.neighbors(self)) {
     if (inc.peer == parent) continue;
@@ -33,9 +35,9 @@ void BroadcastEcho::start_node(sim::Network& net, NodeId self, NodeId parent,
     net.send(self, inc.peer, msg);
     ++children;
   }
-  st.pending = children;
+  scratch_->pending(self) = children;
   // Scratch footprint: parent id + pending counter + accumulator words.
-  net.report_node_state_bits(64 + 64 * st.acc.size());
+  net.report_node_state_bits(64 + 64 * acc.size());
   if (children == 0) absorb_and_maybe_echo(net, self);
 }
 
@@ -51,13 +53,11 @@ void BroadcastEcho::on_message(sim::Network& net, NodeId self, NodeId from,
       start_node(net, self, from, msg.words);
       break;
     case sim::Tag::kEcho: {
-      NodeState& st = scratch_->node(self);
-      assert(st.started && st.pending > 0);
+      assert(scratch_->started(self) && scratch_->pending(self) > 0);
       const auto edge = tree_.graph().find_edge(self, from);
       assert(edge.has_value());
-      combine_(self, from, *edge, st.acc, msg.words);
-      --st.pending;
-      if (st.pending == 0) absorb_and_maybe_echo(net, self);
+      combine_(self, from, *edge, scratch_->acc(self), msg.words);
+      if (--scratch_->pending(self) == 0) absorb_and_maybe_echo(net, self);
       break;
     }
     default:
@@ -66,15 +66,15 @@ void BroadcastEcho::on_message(sim::Network& net, NodeId self, NodeId from,
 }
 
 void BroadcastEcho::absorb_and_maybe_echo(sim::Network& net, NodeId self) {
-  NodeState& st = scratch_->node(self);
+  const Words& acc = scratch_->acc(self);
   if (self == root_) {
     done_ = true;
-    result_ = st.acc;
+    result_ = acc;
     return;
   }
   sim::Message echo(sim::Tag::kEcho);
-  echo.words = st.acc;
-  net.send(self, st.parent, echo);
+  echo.words = acc;
+  net.send(self, scratch_->parent(self), echo);
 }
 
 }  // namespace kkt::proto

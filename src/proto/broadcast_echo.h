@@ -15,10 +15,11 @@
 // echo also fits the CONGEST budget. Works unchanged on every delivery
 // policy (parent designation happens on first receipt).
 //
-// Per-node state is epoch-stamped scratch: a run touches only the nodes of
-// its tree, so resetting costs O(tree size), not O(n), and a Scratch shared
-// across runs (TreeOps owns one) makes repeated broadcast-and-echoes --
-// the inner loop of FindMin and every Boruvka phase -- allocation-free.
+// Per-node state is an epoch-stamped SoA arena (proto/scratch.h): a run
+// touches only the nodes of its tree, so resetting costs O(tree size), not
+// O(n), and an EchoScratch shared across runs (TreeOps owns one) makes
+// repeated broadcast-and-echoes -- the inner loop of FindMin and every
+// Boruvka phase -- allocation-free.
 //
 // Cost on a tree of size s: exactly 2(s-1) messages; 2*depth rounds (sync).
 #pragma once
@@ -29,6 +30,7 @@
 #include <vector>
 
 #include "graph/forest.h"
+#include "proto/scratch.h"
 #include "proto/words.h"
 #include "sim/network.h"
 
@@ -48,52 +50,11 @@ using CombineFn =
 
 class BroadcastEcho final : public sim::Protocol {
  public:
-  struct NodeState {
-    NodeId parent = graph::kNoNode;
-    std::uint32_t pending = 0;  // children not yet echoed
-    bool started = false;
-    Words acc;
-  };
-
-  // Reusable per-node scratch. Entries are stamped with the run that last
-  // touched them; a fresh run resets an entry on first access, so the
-  // per-run cost is proportional to the tree actually walked and no memory
-  // is allocated after the arena reaches the graph size.
-  class Scratch {
-   public:
-    // Grows the arena to cover `n` nodes (allocates only on growth).
-    void ensure(std::size_t n) {
-      if (state_.size() < n) {
-        state_.resize(n);
-        stamp_.resize(n, 0);
-      }
-    }
-
-    // Node state, reset lazily if it belongs to an earlier run.
-    NodeState& node(NodeId v) {
-      if (stamp_[v] != run_) {
-        stamp_[v] = run_;
-        NodeState& st = state_[v];
-        st.parent = graph::kNoNode;
-        st.pending = 0;
-        st.started = false;
-        st.acc.clear();
-      }
-      return state_[v];
-    }
-
-    void next_run() { ++run_; }
-
-   private:
-    std::vector<NodeState> state_;
-    std::vector<std::uint64_t> stamp_;
-    std::uint64_t run_ = 1;  // 0 marks never-touched entries
-  };
-
   // `scratch` may be shared across runs (see TreeOps); when null, the
   // protocol uses a private arena.
   BroadcastEcho(const graph::TreeView& tree, NodeId root, Words payload,
-                LocalFn local, CombineFn combine, Scratch* scratch = nullptr);
+                LocalFn local, CombineFn combine,
+                EchoScratch* scratch = nullptr);
 
   void on_start(sim::Network& net, NodeId self) override;
   void on_message(sim::Network& net, NodeId self, NodeId from,
@@ -114,8 +75,8 @@ class BroadcastEcho final : public sim::Protocol {
   LocalFn local_;
   CombineFn combine_;
 
-  Scratch own_scratch_;  // used only when no shared arena was provided
-  Scratch* scratch_;
+  EchoScratch own_scratch_;  // used only when no shared arena was provided
+  EchoScratch* scratch_;
   bool done_ = false;
   Words result_;
 };

@@ -5,48 +5,54 @@
 
 namespace kkt::proto {
 
-LeaderElection::LeaderElection(const graph::TreeView& tree)
-    : tree_(tree), state_(tree.graph().node_count()) {}
+LeaderElection::LeaderElection(const graph::TreeView& tree,
+                               ElectScratch* scratch)
+    : tree_(tree), scratch_(scratch != nullptr ? scratch : &own_scratch_) {
+  scratch_->ensure(tree.graph().node_count());
+  scratch_->next_run();
+}
 
 void LeaderElection::on_start(sim::Network& net, NodeId self) {
-  NodeState& st = state_[self];
-  assert(!st.started);
-  st.started = true;
-  st.degree = static_cast<std::uint32_t>(tree_.degree(self));
+  scratch_->touch(self);
+  assert(!scratch_->started(self));
+  scratch_->set_started(self);
+  const auto degree = static_cast<std::uint32_t>(tree_.degree(self));
+  scratch_->degree(self) = degree;
   net.report_node_state_bits(64 * 3);
-  if (st.degree == 0) {
+  if (degree == 0) {
     // Singleton fragment: trivially the leader.
-    st.center = true;
-    st.leader_ext = tree_.graph().ext_id(self);
+    scratch_->set_center(self);
+    scratch_->set_leader_ext(self, tree_.graph().ext_id(self));
     leader_ = self;
     return;
   }
   maybe_progress(net, self);
 }
 
-bool LeaderElection::heard_from(const NodeState& st, NodeId y) const {
-  return std::find(st.received.begin(), st.received.end(), y) !=
-         st.received.end();
+bool LeaderElection::heard_from(NodeId self, NodeId y) const {
+  const std::vector<NodeId>& received = scratch_->received(self);
+  return std::find(received.begin(), received.end(), y) != received.end();
 }
 
 void LeaderElection::on_message(sim::Network& net, NodeId self, NodeId from,
                                 const sim::Message& msg) {
-  NodeState& st = state_[self];
+  scratch_->touch(self);
   switch (msg.tag) {
     case sim::Tag::kElectEcho: {
-      assert(st.started && !heard_from(st, from));
-      st.received.push_back(from);
-      if (st.received.size() == st.degree) {
+      assert(scratch_->started(self) && !heard_from(self, from));
+      std::vector<NodeId>& received = scratch_->received_mut(self);
+      received.push_back(from);
+      if (received.size() == scratch_->degree(self)) {
         // Heard from everyone: this node is a median ("center").
-        st.center = true;
-        if (st.sent_to == graph::kNoNode) {
+        scratch_->set_center(self);
+        if (scratch_->sent_to(self) == graph::kNoNode) {
           // Sole center.
           become_leader(net, self);
         } else {
           // Two neighboring centers: self sent to `from` and `from` sent
           // back. Higher external ID wins; both endpoints decide locally
           // and consistently (KT1: each knows the neighbor's ID).
-          assert(st.sent_to == from);
+          assert(scratch_->sent_to(self) == from);
           if (tree_.graph().ext_id(self) > tree_.graph().ext_id(from)) {
             become_leader(net, self);
           }
@@ -65,13 +71,14 @@ void LeaderElection::on_message(sim::Network& net, NodeId self, NodeId from,
 }
 
 void LeaderElection::maybe_progress(sim::Network& net, NodeId self) {
-  NodeState& st = state_[self];
-  if (st.sent_to != graph::kNoNode || st.center) return;
-  if (st.received.size() + 1 != st.degree) return;
+  if (scratch_->sent_to(self) != graph::kNoNode || scratch_->center(self)) {
+    return;
+  }
+  if (scratch_->received(self).size() + 1 != scratch_->degree(self)) return;
   // Exactly one unheard tree neighbor: send the converging echo to it.
   for (const graph::Incidence& inc : tree_.neighbors(self)) {
-    if (!heard_from(st, inc.peer)) {
-      st.sent_to = inc.peer;
+    if (!heard_from(self, inc.peer)) {
+      scratch_->set_sent_to(self, inc.peer);
       net.send(self, inc.peer, sim::Message(sim::Tag::kElectEcho));
       return;
     }
@@ -87,9 +94,8 @@ void LeaderElection::become_leader(sim::Network& net, NodeId self) {
 
 void LeaderElection::relay_announce(sim::Network& net, NodeId self,
                                     NodeId from, std::uint64_t leader_ext) {
-  NodeState& st = state_[self];
-  assert(st.leader_ext == 0 && "leader announced twice");
-  st.leader_ext = leader_ext;
+  assert(scratch_->leader_ext(self) == 0 && "leader announced twice");
+  scratch_->set_leader_ext(self, leader_ext);
   for (const graph::Incidence& inc : tree_.neighbors(self)) {
     if (inc.peer == from) continue;
     net.send(self, inc.peer,
@@ -101,13 +107,16 @@ std::vector<CycleMember> LeaderElection::stalled_cycle(
     std::span<const NodeId> fragment) const {
   std::vector<CycleMember> out;
   for (NodeId v : fragment) {
-    const NodeState& st = state_[v];
-    if (!st.started || st.center || st.sent_to != graph::kNoNode) continue;
-    if (st.degree < 2 || st.received.size() + 2 != st.degree) continue;
+    if (!scratch_->started(v) || scratch_->center(v) ||
+        scratch_->sent_to(v) != graph::kNoNode) {
+      continue;
+    }
+    const std::uint32_t degree = scratch_->degree(v);
+    if (degree < 2 || scratch_->received(v).size() + 2 != degree) continue;
     CycleMember member{v, {graph::kNoNode, graph::kNoNode}};
     int k = 0;
     for (const graph::Incidence& inc : tree_.neighbors(v)) {
-      if (!heard_from(st, inc.peer)) {
+      if (!heard_from(v, inc.peer)) {
         assert(k < 2);
         member.cycle_neighbor[k++] = inc.peer;
       }

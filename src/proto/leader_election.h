@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/forest.h"
+#include "proto/scratch.h"
 #include "sim/network.h"
 
 namespace kkt::proto {
@@ -37,7 +38,11 @@ struct CycleMember {
 
 class LeaderElection final : public sim::Protocol {
  public:
-  explicit LeaderElection(const graph::TreeView& tree);
+  // `scratch` may be shared across elections (see TreeOps): a fresh
+  // election costs O(fragment), not O(n). When null, a private arena is
+  // used. Post-quiescence queries stay valid until the scratch's next run.
+  explicit LeaderElection(const graph::TreeView& tree,
+                          ElectScratch* scratch = nullptr);
 
   void on_start(sim::Network& net, NodeId self) override;
   void on_message(sim::Network& net, NodeId self, NodeId from,
@@ -49,7 +54,7 @@ class LeaderElection final : public sim::Protocol {
   // Leader's external ID as recorded by node v from the announcement
   // (0 if v never learned it).
   graph::ExtId leader_ext_seen_by(NodeId v) const {
-    return static_cast<graph::ExtId>(state_[v].leader_ext);
+    return static_cast<graph::ExtId>(scratch_->leader_ext(v));
   }
   // Nodes whose echoes stalled with exactly two unheard neighbors: the
   // cycle, if any. Restricted to the given fragment nodes.
@@ -57,23 +62,15 @@ class LeaderElection final : public sim::Protocol {
       std::span<const NodeId> fragment) const;
 
  private:
-  struct NodeState {
-    std::vector<NodeId> received;  // echo senders so far
-    NodeId sent_to = graph::kNoNode;
-    std::uint32_t degree = 0;
-    bool started = false;
-    bool center = false;
-    std::uint64_t leader_ext = 0;
-  };
-
   void maybe_progress(sim::Network& net, NodeId self);
   void become_leader(sim::Network& net, NodeId self);
   void relay_announce(sim::Network& net, NodeId self, NodeId from,
                       std::uint64_t leader_ext);
-  bool heard_from(const NodeState& st, NodeId y) const;
+  bool heard_from(NodeId self, NodeId y) const;
 
   graph::TreeView tree_;
-  std::vector<NodeState> state_;
+  ElectScratch own_scratch_;  // used only when no shared arena was provided
+  ElectScratch* scratch_;
   NodeId leader_ = graph::kNoNode;
 };
 

@@ -9,7 +9,7 @@ namespace kkt::proto {
 Words TreeOps::broadcast_echo(NodeId root, Words payload, const LocalFn& local,
                               const CombineFn& combine) {
   BroadcastEcho proto(tree_, root, std::move(payload), local, combine,
-                      &be_scratch_);
+                      &scratch_->echo);
   const NodeId participants[] = {root};
   net_->run(proto, participants);
   assert(proto.done() && "broadcast-and-echo did not converge");
@@ -19,21 +19,23 @@ Words TreeOps::broadcast_echo(NodeId root, Words payload, const LocalFn& local,
 
 void TreeOps::broadcast(NodeId root, Words payload,
                         const Broadcast::ReceiveFn& on_receive) {
-  Broadcast proto(tree_, root, std::move(payload), on_receive);
+  Broadcast proto(tree_, root, std::move(payload), on_receive,
+                  &scratch_->seen);
   const NodeId participants[] = {root};
   net_->run(proto, participants);
 }
 
 bool TreeOps::add_edge(graph::MarkedForest& forest, NodeId root,
                        graph::EdgeNum edge_num, std::uint32_t epoch) {
-  AddEdgeHandshake proto(forest, tree_, root, edge_num, epoch);
+  AddEdgeHandshake proto(forest, tree_, root, edge_num, epoch,
+                         &scratch_->seen);
   const NodeId participants[] = {root};
   net_->run(proto, participants);
   return proto.completed();
 }
 
 ElectionResult TreeOps::elect(std::span<const NodeId> fragment) {
-  LeaderElection proto(tree_);
+  LeaderElection proto(tree_, &scratch_->elect);
   net_->run(proto, fragment);
   ElectionResult res;
   res.leader = proto.leader();

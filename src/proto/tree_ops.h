@@ -13,6 +13,7 @@
 #include "proto/broadcast.h"
 #include "proto/broadcast_echo.h"
 #include "proto/leader_election.h"
+#include "proto/scratch.h"
 #include "sim/network.h"
 
 namespace kkt::proto {
@@ -26,8 +27,16 @@ struct ElectionResult {
 
 class TreeOps {
  public:
-  TreeOps(sim::Network& net, graph::TreeView tree)
-      : net_(&net), tree_(std::move(tree)) {}
+  // `scratch` may be shared across TreeOps instances (hoist one
+  // ProtoScratch outside a phase loop): the per-node protocol arenas then
+  // persist across phases, so per-fragment ops cost O(fragment) instead of
+  // O(n). When null, this TreeOps owns private arenas (still reused across
+  // its own calls). Counters are bit-identical either way.
+  explicit TreeOps(sim::Network& net, graph::TreeView tree,
+                   ProtoScratch* scratch = nullptr)
+      : net_(&net),
+        tree_(std::move(tree)),
+        scratch_(scratch != nullptr ? scratch : &own_scratch_) {}
 
   // One broadcast-and-echo from `root`; returns the aggregate.
   Words broadcast_echo(NodeId root, Words payload, const LocalFn& local,
@@ -52,10 +61,11 @@ class TreeOps {
  private:
   sim::Network* net_;
   graph::TreeView tree_;
-  // Reused across broadcast_echo calls: repeated ops (FindMin's inner loop,
-  // one op per fragment per phase) touch only their own tree and allocate
-  // nothing once the arena is warm.
-  BroadcastEcho::Scratch be_scratch_;
+  // Reused across ops (FindMin's inner loop, one op per fragment per
+  // phase): each protocol touches only its own tree and allocates nothing
+  // once the arenas are warm.
+  ProtoScratch own_scratch_;  // used only when no shared bundle was provided
+  ProtoScratch* scratch_;
 };
 
 // --- stock combine functions ------------------------------------------------

@@ -23,6 +23,10 @@ std::string serialize_results(const ResultFile& f) {
     JsonValue rec{JsonValue::Object{}};
     rec.set("name", r.name);
     rec.set("counters", std::move(counters));
+    // v2 wall data: emitted only when measured, so counter-only artifacts
+    // serialize byte-identically to their v1 bodies.
+    if (r.iters != 0) rec.set("iters", static_cast<double>(r.iters));
+    if (r.wall_ns != 0) rec.set("wall_ns", static_cast<double>(r.wall_ns));
     records.push_back(std::move(rec));
   }
   JsonValue root{JsonValue::Object{}};
@@ -54,7 +58,8 @@ bool parse_unified(const JsonValue& root, ResultFile& out,
                    std::string* error) {
   const JsonValue* version = root.find("kkt_result_schema");
   if (!version || !version->is_number() ||
-      version->as_number() != static_cast<double>(kResultSchemaVersion)) {
+      version->as_number() < static_cast<double>(kMinResultSchemaVersion) ||
+      version->as_number() > static_cast<double>(kResultSchemaVersion)) {
     return set_error(error, "unsupported kkt_result_schema version");
   }
   out.schema_version = static_cast<int>(version->as_number());
@@ -87,6 +92,19 @@ bool parse_unified(const JsonValue& root, ResultFile& out,
         return set_error(error, "counter '" + k + "' is not a number");
       }
       r.counters[k] = v.as_number();
+    }
+    // Optional v2 wall data (absent in v1 files and counter-only records).
+    if (const JsonValue* wall = rec.find("wall_ns")) {
+      if (!wall->is_number() || wall->as_number() < 0) {
+        return set_error(error, "record 'wall_ns' is not a number");
+      }
+      r.wall_ns = static_cast<std::uint64_t>(wall->as_number());
+    }
+    if (const JsonValue* iters = rec.find("iters")) {
+      if (!iters->is_number() || iters->as_number() < 0) {
+        return set_error(error, "record 'iters' is not a number");
+      }
+      r.iters = static_cast<std::uint64_t>(iters->as_number());
     }
     out.records.push_back(std::move(r));
   }

@@ -8,17 +8,27 @@
 // trajectory and the drift check all consume a single parser.
 //
 //   {
-//     "kkt_result_schema": 1,
+//     "kkt_result_schema": 2,
 //     "tool": "bench_build_mst",
 //     "records": [
 //       {"name": "BM_BuildMst_Kkt_N15/64", "counters": {"messages": 10480}}
 //     ]
 //   }
 //
+// Schema v2 adds optional wall-clock observables to a record -- "wall_ns"
+// (median wall time of one iteration, nanoseconds) and "iters" (timed
+// iterations behind that median) -- serialized only when nonzero. They are
+// deliberately NOT counters: counters stay deterministic model costs, wall
+// time is machine noise, and the `kkt_report perf` gate treats the two
+// accordingly (exact equality vs. tolerance). v1 artifacts parse
+// unchanged; a v1 record simply carries no wall data.
+//
 // Determinism: write_results() is byte-deterministic -- counters serialize
 // in sorted key order, integral values print without a fraction -- so two
 // runs at the same seed produce byte-identical artifacts (held by
 // tests/report_test.cc) and artifacts diff line-by-line across commits.
+// Wall fields appear only when a producer opts in (KKT_BENCH_WALL), so the
+// default artifacts keep that property.
 //
 // Legacy shim (one release): parse_results() also accepts the Google
 // Benchmark JSON format that BENCH_messages.json/BENCH_churn.json used
@@ -38,7 +48,10 @@
 
 namespace kkt::report {
 
-inline constexpr int kResultSchemaVersion = 1;
+inline constexpr int kResultSchemaVersion = 2;
+// Oldest version parse_results() still reads. v1 files are plain v2 files
+// without wall data, so the read shim costs nothing.
+inline constexpr int kMinResultSchemaVersion = 1;
 
 struct RunRecord {
   // Slash-delimited identifier, e.g. "headtohead/build_mst/kkt/n=256" or a
@@ -47,6 +60,11 @@ struct RunRecord {
   // Observables. std::map: serialization order is sorted and therefore
   // deterministic regardless of how the producer filled the map.
   std::map<std::string, double> counters;
+  // Wall-clock observables (v2, optional): median per-iteration wall time
+  // and the iteration count behind it. Zero means "not measured" and is not
+  // serialized, keeping counter-only artifacts byte-stable across versions.
+  std::uint64_t wall_ns = 0;
+  std::uint64_t iters = 0;
 
   double counter_or(std::string_view key, double dflt) const noexcept {
     const auto it = counters.find(std::string(key));

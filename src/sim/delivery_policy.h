@@ -48,6 +48,15 @@ class DeliveryPolicy {
   // scheduled (0 for honest transports). Each duplicate gets its own
   // delivery_time call.
   virtual unsigned duplicates(NodeId /*from*/, NodeId /*to*/) { return 0; }
+
+  // Contract flag for the Network's round-batched fast path: true promises
+  // that delivery_time(from, to, now) == now + 1 for every send and that
+  // duplicates() always returns 0. The Network may then skip the event heap
+  // (and these two virtual calls) entirely and drain contiguous per-round
+  // buckets in send order, which is exactly the (timestamp, seq) order the
+  // heap would have produced. Policies that cannot promise this keep the
+  // default and take the general heap path.
+  virtual bool unit_delay() const noexcept { return false; }
 };
 
 // Synchronous CONGEST rounds: arrive exactly one time unit after sending,
@@ -57,6 +66,8 @@ class FifoSyncPolicy final : public DeliveryPolicy {
   std::uint64_t delivery_time(NodeId, NodeId, std::uint64_t now) override {
     return now + 1;
   }
+
+  bool unit_delay() const noexcept override { return true; }
 };
 
 // Benign asynchrony: independent uniform delays in [1, max_delay], drawn

@@ -63,6 +63,8 @@ Network::Event Network::heap_pop() {
 
 void Network::queue_clear() {
   heap_.clear();
+  cur_round_.clear();
+  next_round_.clear();
   ring_head_ = 0;
   ring_count_ = ring_.size();
   std::iota(ring_.begin(), ring_.end(), 0u);
@@ -91,6 +93,14 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
     assert(false && "CONGEST message budget exceeded");
   }
   const Envelope env{from, to, msg};
+  if (fast_path_) {
+    // unit_delay() promises delivery at now + 1 with no duplicates, so the
+    // bucket append *is* the schedule: append order == send sequence order.
+    assert(policy_->delivery_time(from, to, now_) == now_ + 1);
+    assert(policy_->duplicates(from, to) == 0);
+    next_round_.push_back(env);
+    return;
+  }
   schedule(env);
   // Adversarial duplicates: the same bits arrive again at an independently
   // drawn time. They are transport faults, not protocol cost, so they are
@@ -101,7 +111,33 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
   }
 }
 
+std::uint64_t Network::drain_rounds(Protocol& proto,
+                                    std::uint64_t max_rounds) {
+  const std::uint64_t start = now_;
+  while (!next_round_.empty()) {
+    if (now_ + 1 - start > max_rounds) {
+      // Backstop hit: every pending delivery shares the same timestamp, so
+      // dropping the whole bucket matches the heap path's per-event check.
+      next_round_.clear();
+      now_ = start + max_rounds;
+      break;
+    }
+    ++now_;
+    cur_round_.swap(next_round_);
+    // Handlers only append to next_round_, so iterating cur_round_ by index
+    // is stable; clear() afterwards keeps the capacity for the next round.
+    for (const Envelope& env : cur_round_) {
+      proto.on_message(*this, env.to, env.from, env.msg);
+    }
+    cur_round_.clear();
+  }
+  const std::uint64_t elapsed = now_ - start;
+  now_ = 0;  // virtual clock is per-operation
+  return elapsed;
+}
+
 std::uint64_t Network::drain(Protocol& proto, std::uint64_t max_rounds) {
+  if (fast_path_) return drain_rounds(proto, max_rounds);
   const std::uint64_t start = now_;
   while (!heap_.empty()) {
     const Event ev = heap_pop();
@@ -128,6 +164,7 @@ std::uint64_t Network::run(Protocol& proto,
                            std::uint64_t max_rounds) {
   assert(active_ == nullptr && "nested Network::run");
   active_ = &proto;
+  fast_path_ = round_batching_enabled_ && policy_->unit_delay();
   policy_->begin_op();
   for (NodeId v : participants) proto.on_start(*this, v);
   const std::uint64_t elapsed = drain(proto, max_rounds);

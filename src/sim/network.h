@@ -20,6 +20,16 @@
 // delivery timestamp. drain() delivers in (timestamp, send sequence) order.
 // SyncNetwork / AsyncNetwork / AdversarialNetwork are thin policy
 // instantiations over this one mechanism.
+//
+// Fast path: when the policy promises unit delay (FifoSyncPolicy), every
+// send lands exactly one round after `now`, so at most two timestamps are
+// ever pending -- the round being drained and the next one. The Network then
+// bypasses the heap and keeps two contiguous round buckets, swapped once per
+// round and drained in append (= send sequence) order, which is exactly the
+// (timestamp, seq) order the heap would produce. The buckets keep their
+// capacity across operations, preserving the zero-allocation steady state.
+// set_round_batching(false) forces the general heap path for any policy
+// (the counter bit-identity tests compare both paths).
 #pragma once
 
 #include <cassert>
@@ -91,6 +101,17 @@ class Network {
     }
   }
 
+  // Slow-path knob: disables the round-batched fast path, forcing every
+  // operation through the general (timestamp, seq) event heap even under a
+  // unit-delay policy. Delivery order -- and therefore every counter -- is
+  // identical either way; tests pin that equivalence. Must not be flipped
+  // while a run is in progress.
+  void set_round_batching(bool enabled) noexcept {
+    assert(active_ == nullptr && "set_round_batching during Network::run");
+    round_batching_enabled_ = enabled;
+  }
+  bool round_batching() const noexcept { return round_batching_enabled_; }
+
   static constexpr std::uint64_t kDefaultMaxRounds = 1u << 26;
 
  private:
@@ -112,6 +133,8 @@ class Network {
   void schedule(const Envelope& env);
   // Delivers everything pending; returns the elapsed virtual time.
   std::uint64_t drain(Protocol& proto, std::uint64_t max_rounds);
+  // Fast-path drain: per-round buckets instead of the heap (unit delay).
+  std::uint64_t drain_rounds(Protocol& proto, std::uint64_t max_rounds);
 
   // --- pooled envelope queue ----------------------------------------------
   std::uint32_t pool_put(const Envelope& env);
@@ -134,8 +157,12 @@ class Network {
   std::size_t ring_head_ = 0;         // oldest free slot
   std::size_t ring_count_ = 0;        // number of free slots
   std::vector<Event> heap_;           // binary min-heap on (at, seq)
+  std::vector<Envelope> cur_round_;   // fast path: round being delivered
+  std::vector<Envelope> next_round_;  // fast path: sends land here (seq order)
   std::uint64_t now_ = 0;             // virtual clock, per-operation
   std::uint64_t seq_ = 0;             // send sequence (monotonic)
+  bool round_batching_enabled_ = true;
+  bool fast_path_ = false;            // this run uses the round buckets
 };
 
 // Accounts elapsed time for operations that run conceptually in parallel

@@ -54,6 +54,92 @@ constexpr std::uint64_t invmod_prime(std::uint64_t a, std::uint64_t p) noexcept 
   return powmod(a, p - 2, p);
 }
 
+// High 128 bits of the 256-bit product a * b, built from four 64x64->128
+// partial products with explicit carry tracking (carry-save): the sum of the
+// two middle partials can exceed 128 bits by exactly one carry.
+constexpr u128 mulhi128(u128 a, u128 b) noexcept {
+  const std::uint64_t a1 = static_cast<std::uint64_t>(a >> 64);
+  const std::uint64_t a0 = static_cast<std::uint64_t>(a);
+  const std::uint64_t b1 = static_cast<std::uint64_t>(b >> 64);
+  const std::uint64_t b0 = static_cast<std::uint64_t>(b);
+  const u128 ll = static_cast<u128>(a0) * b0;
+  const u128 lh = static_cast<u128>(a0) * b1;
+  const u128 hl = static_cast<u128>(a1) * b0;
+  const u128 hh = static_cast<u128>(a1) * b1;
+  // mid = lh + hl + hi64(ll); lh + hi64(ll) cannot overflow
+  // ((2^64-1)^2 + (2^64-1) < 2^128), the second add can carry once.
+  const u128 mid_lo = lh + static_cast<std::uint64_t>(ll >> 64);
+  const u128 mid = mid_lo + hl;
+  const u128 carry = mid < mid_lo ? (u128{1} << 64) : 0;
+  return hh + static_cast<std::uint64_t>(mid >> 64) + carry;
+}
+
+// Barrett reduction mod a fixed 64-bit modulus: one up-front 128-bit
+// division at construction buys division-free (multiply-high) reduction of
+// any 128-bit value afterwards. Exact for every t < 2^128 -- the estimated
+// quotient floor(t * floor(2^128/m) / 2^128) undershoots floor(t/m) by at
+// most 2, fixed by conditional subtractions -- so results are bit-identical
+// to t % m. This is the hot-path replacement for the compiler's __umodti3
+// in the Karp-Rabin / pairwise / Schwartz-Zippel inner loops.
+class Barrett {
+ public:
+  constexpr explicit Barrett(std::uint64_t m) noexcept
+      : recip_(~u128{0} / m), m_(m) {
+    assert(m >= 2);
+  }
+
+  // t mod m, exactly.
+  constexpr std::uint64_t reduce(u128 t) const noexcept {
+    const u128 q = mulhi128(t, recip_);
+    u128 rem = t - q * m_;
+    while (rem >= m_) rem -= m_;  // at most two iterations (Barrett bound)
+    return static_cast<std::uint64_t>(rem);
+  }
+
+  // (a * b) mod m, exactly; equals mulmod(a, b, m) for every a, b.
+  constexpr std::uint64_t mul(std::uint64_t a, std::uint64_t b) const noexcept {
+    return reduce(static_cast<u128>(a) * b);
+  }
+
+  constexpr std::uint64_t modulus() const noexcept { return m_; }
+
+ private:
+  u128 recip_;  // floor(2^128 / m); m is odd in all our uses, never a
+                // divisor of 2^128, so ~0/m computes it exactly
+  std::uint64_t m_;
+};
+
+// Reciprocal of a fixed 128-bit divisor for repeated floor division --
+// same estimate-and-correct scheme as Barrett, returning the quotient.
+// TestOut's slice indexing divides every in-range incident edge by the
+// loop-invariant slice width; this hoists the 128-bit division out of
+// that loop.
+class Recip128 {
+ public:
+  constexpr explicit Recip128(u128 d) noexcept : recip_(~u128{0} / d), d_(d) {
+    assert(d >= 1);
+  }
+
+  // floor(x / d), exactly.
+  constexpr u128 div(u128 x) const noexcept {
+    u128 q = mulhi128(x, recip_);
+    u128 rem = x - q * d_;
+    while (rem >= d_) {  // at most two iterations (Barrett bound)
+      rem -= d_;
+      ++q;
+    }
+    return q;
+  }
+
+  constexpr u128 divisor() const noexcept { return d_; }
+
+ private:
+  u128 recip_;  // floor(2^128 / d) when d does not divide 2^128; for a
+                // power-of-two divisor ~0/d is one less, which the
+                // correction loop absorbs (undershoot only grows by one)
+  u128 d_;
+};
+
 // The largest prime below 2^63. Default field modulus for HP-TestOut: it
 // exceeds every edge number (< 2^62 by construction, see graph/edge_ids.h)
 // and B/eps(n) for all practical B and eps, as the paper permits for a

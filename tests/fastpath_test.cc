@@ -1,0 +1,103 @@
+// Round-batched delivery is a delivery-order-preserving fast path: with
+// unit delays the per-round bucket swap must be observationally identical
+// to the general timestamp heap. These pins run whole protocols twice --
+// once per path via Network::set_round_batching -- and require the full
+// Metrics block (messages, bits, rounds, per-tag splits, state high-water)
+// to match bit for bit. Any divergence means the fast path reordered a
+// delivery, which would silently invalidate every counter baseline.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baseline/ghs.h"
+#include "core/build_mst.h"
+#include "core/build_st.h"
+#include "core/repair.h"
+#include "graph/mst_oracle.h"
+#include "test_util.h"
+
+namespace kkt::sim {
+namespace {
+
+using test::NetKind;
+using test::World;
+
+// Runs `body(world)` on two identical worlds, one per delivery path, and
+// returns the two metric blocks.
+template <typename Body>
+std::pair<Metrics, Metrics> both_paths(std::size_t n, std::size_t m,
+                                       std::uint64_t seed, NetKind kind,
+                                       Body&& body) {
+  World fast = test::make_gnm_world(n, m, seed, kind);
+  EXPECT_TRUE(fast.net->round_batching());
+  body(fast);
+
+  World slow = test::make_gnm_world(n, m, seed, kind);
+  slow.net->set_round_batching(false);
+  body(slow);
+
+  return {fast.net->metrics(), slow.net->metrics()};
+}
+
+class FastPathSweep
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, NetKind>> {};
+
+TEST_P(FastPathSweep, BuildMstCountersBitIdentical) {
+  const auto [seed, kind] = GetParam();
+  const auto [fast, slow] =
+      both_paths(64, 256, seed, kind, [](World& w) {
+        EXPECT_TRUE(core::build_mst(*w.net, *w.forest).spanning);
+        EXPECT_TRUE(graph::same_edge_set(w.forest->marked_edges(),
+                                         graph::kruskal_msf(*w.g)));
+      });
+  EXPECT_EQ(fast, slow);
+  EXPECT_GT(fast.messages, 0u);
+}
+
+TEST_P(FastPathSweep, BuildStCountersBitIdentical) {
+  const auto [seed, kind] = GetParam();
+  const auto [fast, slow] =
+      both_paths(48, 160, seed, kind, [](World& w) {
+        EXPECT_TRUE(core::build_st(*w.net, *w.forest).spanning);
+      });
+  EXPECT_EQ(fast, slow);
+}
+
+TEST_P(FastPathSweep, GhsCountersBitIdentical) {
+  const auto [seed, kind] = GetParam();
+  const auto [fast, slow] =
+      both_paths(48, 160, seed, kind, [](World& w) {
+        EXPECT_TRUE(baseline::ghs_build_mst(*w.net, *w.forest).spanning);
+      });
+  EXPECT_EQ(fast, slow);
+}
+
+// The sync transport is where the bucket path actually engages; async and
+// adversarial policies must take the heap path regardless of the knob, so
+// the sweep doubles as a "knob is inert off the fast path" pin.
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FastPathSweep,
+    ::testing::Combine(::testing::Values(1u, 7u, 1234u),
+                       ::testing::Values(NetKind::kSync, NetKind::kAsync,
+                                         NetKind::kAdversarial)));
+
+TEST(FastPath, RepairCountersBitIdentical) {
+  const auto run = [](bool batching) {
+    World w = test::make_gnm_world(40, 160, 99, NetKind::kSync);
+    w.net->set_round_batching(batching);
+    test::mark_msf(w);
+    core::DynamicForest dyn(*w.g, *w.forest, *w.net, core::ForestKind::kMst);
+    util::Rng pick(99 * 31);
+    for (int i = 0; i < 8; ++i) {
+      const auto alive = w.g->alive_edge_indices();
+      dyn.delete_edge(alive[pick.below(alive.size())]);
+    }
+    EXPECT_TRUE(graph::same_edge_set(w.forest->marked_edges(),
+                                     graph::kruskal_msf(*w.g)));
+    return w.net->metrics();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace kkt::sim

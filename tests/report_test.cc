@@ -137,6 +137,44 @@ TEST(Schema, SerializationIsByteDeterministic) {
   EXPECT_EQ(serialize_results(a), serialize_results(a));
 }
 
+TEST(Schema, V1ArtifactsParseViaReadShim) {
+  // Pre-perf-campaign artifacts carry version 1 and no wall data; they must
+  // keep parsing (kMinResultSchemaVersion) with the wall columns zeroed.
+  const char* v1 = R"({"kkt_result_schema": 1, "tool": "t",
+      "records": [{"name": "x", "counters": {"n": 64}}]})";
+  const auto file = parse_results(v1);
+  ASSERT_TRUE(file.has_value());
+  EXPECT_EQ(file->schema_version, 1);
+  ASSERT_EQ(file->records.size(), 1u);
+  EXPECT_EQ(file->records[0].wall_ns, 0u);
+  EXPECT_EQ(file->records[0].iters, 0u);
+  // Round trip: the struct's version is what serializes, and the body of a
+  // wall-free record is identical across v1 and v2.
+  const auto back = parse_results(serialize_results(*file));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, *file);
+}
+
+TEST(Schema, WallFieldsRoundTripAndStayOptIn) {
+  ResultFile f = sample_file();
+  // wall_ns == 0 means "not measured" and must not serialize, so default
+  // counter-only artifacts stay byte-stable across the v1 -> v2 bump.
+  const std::string without = serialize_results(f);
+  EXPECT_EQ(without.find("wall_ns"), std::string::npos);
+  EXPECT_EQ(without.find("iters"), std::string::npos);
+
+  f.records[0].wall_ns = 1234567;
+  f.records[0].iters = 3;
+  const std::string with = serialize_results(f);
+  EXPECT_NE(with.find("\"wall_ns\": 1234567"), std::string::npos);
+  const auto back = parse_results(with);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, f);
+  // The record that carried no wall data stays bare after the round trip.
+  EXPECT_EQ(back->records[1].wall_ns, 0u);
+  EXPECT_EQ(back->records[1].iters, 0u);
+}
+
 TEST(Schema, RejectsMalformedDocuments) {
   const char* cases[] = {
       // not JSON at all
@@ -159,6 +197,9 @@ TEST(Schema, RejectsMalformedDocuments) {
       // non-numeric counter
       R"({"kkt_result_schema": 1, "tool": "t",
           "records": [{"name": "x", "counters": {"n": "64"}}]})",
+      // non-numeric wall column (v2)
+      R"({"kkt_result_schema": 2, "tool": "t",
+          "records": [{"name": "x", "counters": {}, "wall_ns": "5"}]})",
       // legacy shape without the benchmarks array
       R"({"context": {}})",
   };

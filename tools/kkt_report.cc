@@ -19,6 +19,16 @@
 //       exits 1 listing every drifted file. This is the CI report stage's
 //       "docs match the artifact" gate.
 //
+//   kkt_report perf  --baseline FILE --current FILE
+//                    [--tolerance PCT] [--wall-gate hard|advisory|off]
+//       The perf trend gate (docs/PERF.md). Counters must match the
+//       baseline EXACTLY -- any drift is a model-cost change and fails
+//       regardless of flags. Wall times (schema v2 wall_ns) may regress by
+//       up to PCT percent (default 25) before the gate trips; --wall-gate
+//       picks what a trip means: hard (exit 1, the local default per
+//       docs/PERF.md), advisory (warn, exit 0 -- for shared CI runners
+//       whose wall clock is not trustworthy), or off.
+//
 // The artifact format is docs/RESULT_SCHEMA.md; --in also accepts the
 // legacy Google Benchmark JSON via the one-release read shim.
 #include <cstdio>
@@ -247,12 +257,122 @@ int cmd_check(const Args& a) {
   return 1;
 }
 
+// ---------------------------------------------------------------------------
+// perf: the wall-clock trend gate (docs/PERF.md)
+// ---------------------------------------------------------------------------
+
+std::optional<kkt::report::ResultFile> load_named(const Args& a,
+                                                  const std::string& key) {
+  if (!a.has(key)) {
+    std::fprintf(stderr, "error: perf requires --%s FILE\n", key.c_str());
+    return std::nullopt;
+  }
+  const std::string path = a.get(key, "");
+  std::string err;
+  auto file = kkt::report::read_results_file(path, &err);
+  if (!file) {
+    std::fprintf(stderr, "error: %s: %s\n", path.c_str(), err.c_str());
+  }
+  return file;
+}
+
+int cmd_perf(const Args& a) {
+  const auto baseline = load_named(a, "baseline");
+  const auto current = load_named(a, "current");
+  if (!baseline || !current) return 2;
+  const double tolerance =
+      static_cast<double>(a.num("tolerance", 25));
+  const std::string wall_gate = a.get("wall-gate", "hard");
+  if (wall_gate != "hard" && wall_gate != "advisory" && wall_gate != "off") {
+    std::fprintf(stderr,
+                 "error: --wall-gate must be hard, advisory or off\n");
+    return 2;
+  }
+
+  // Counter gate: the model costs are deterministic, so the record sets
+  // must agree bit-for-bit. Any difference is a correctness signal, never
+  // noise, and fails unconditionally.
+  int counter_drift = 0;
+  for (const kkt::report::RunRecord& base : baseline->records) {
+    const kkt::report::RunRecord* cur = current->find(base.name);
+    if (!cur) {
+      std::fprintf(stderr, "PERF-DRIFT: record '%s' missing from current\n",
+                   base.name.c_str());
+      ++counter_drift;
+      continue;
+    }
+    if (cur->counters != base.counters) {
+      ++counter_drift;
+      std::fprintf(stderr, "PERF-DRIFT: counters changed for '%s':\n",
+                   base.name.c_str());
+      for (const auto& [key, val] : base.counters) {
+        const auto it = cur->counters.find(key);
+        if (it == cur->counters.end()) {
+          std::fprintf(stderr, "  %s: %.17g -> (missing)\n", key.c_str(), val);
+        } else if (it->second != val) {
+          std::fprintf(stderr, "  %s: %.17g -> %.17g\n", key.c_str(), val,
+                       it->second);
+        }
+      }
+      for (const auto& [key, val] : cur->counters) {
+        if (base.counters.find(key) == base.counters.end()) {
+          std::fprintf(stderr, "  %s: (missing) -> %.17g\n", key.c_str(), val);
+        }
+      }
+    }
+  }
+  for (const kkt::report::RunRecord& cur : current->records) {
+    if (!baseline->find(cur.name)) {
+      std::fprintf(stderr, "PERF-DRIFT: record '%s' absent from baseline\n",
+                   cur.name.c_str());
+      ++counter_drift;
+    }
+  }
+  if (counter_drift != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %d record(s) drifted from the counter baseline "
+                 "(model costs are deterministic; investigate before "
+                 "re-baselining)\n",
+                 counter_drift);
+    return 1;
+  }
+
+  // Wall gate: compare medians where both sides measured one.
+  int regressions = 0;
+  int compared = 0;
+  for (const kkt::report::RunRecord& base : baseline->records) {
+    const kkt::report::RunRecord* cur = current->find(base.name);
+    if (!cur || base.wall_ns == 0 || cur->wall_ns == 0) continue;
+    ++compared;
+    const double ratio = static_cast<double>(cur->wall_ns) /
+                         static_cast<double>(base.wall_ns);
+    const double delta_pct = (ratio - 1.0) * 100.0;
+    const bool slow = delta_pct > tolerance;
+    std::printf("  %-44s %12.3f ms -> %12.3f ms  %+7.1f%%%s\n",
+                base.name.c_str(),
+                static_cast<double>(base.wall_ns) / 1e6,
+                static_cast<double>(cur->wall_ns) / 1e6, delta_pct,
+                slow ? "  REGRESSION" : "");
+    if (slow) ++regressions;
+  }
+  std::printf("perf: counters exact across %zu record(s); "
+              "%d of %d wall time(s) regressed beyond %.0f%%\n",
+              baseline->records.size(), regressions, compared, tolerance);
+  if (regressions != 0 && wall_gate == "hard") return 1;
+  if (regressions != 0 && wall_gate == "advisory") {
+    std::fprintf(stderr,
+                 "advisory: wall regression(s) detected but the gate is "
+                 "advisory on this runner (see docs/PERF.md)\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: kkt_report run|gen|check [--flags]\n"
+                 "usage: kkt_report run|gen|check|perf [--flags]\n"
                  "see the header comment of tools/kkt_report.cc\n");
     return 2;
   }
@@ -261,6 +381,7 @@ int main(int argc, char** argv) {
   if (cmd == "run") return cmd_run(a);
   if (cmd == "gen") return cmd_gen(a);
   if (cmd == "check") return cmd_check(a);
+  if (cmd == "perf") return cmd_perf(a);
   std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
   return 2;
 }
