@@ -6,13 +6,15 @@
 //                 [--out FILE]
 //   kkt_lab build --algo kkt-mst|kkt-st|ghs|flood
 //                 (--in FILE | --family ... as above) [--seed S]
-//                 [--net sync|async|adversarial] [--repeat N] [--csv]
+//                 [--net sync|async|adversarial] [--shards S]
+//                 [--repeat N] [--csv]
 //   kkt_lab repair --kind mst|st --ops K
 //                 (--in FILE | --family ...) [--seed S]
-//                 [--net sync|async|adversarial] [--csv]
+//                 [--net sync|async|adversarial] [--shards S] [--csv]
 //   kkt_lab churn --workload uniform|hotspot|bridges|growth --ops K
 //                 [--family ... as above] [--kind mst|st] [--seed S]
-//                 [--net sync|async|adversarial] [--sweep N] [--threads T]
+//                 [--net sync|async|adversarial] [--shards S]
+//                 [--sweep N] [--threads T]
 //                 [--trace FILE] [--record FILE] [--csv]
 //   kkt_lab report [--sizes 64,128,256] [--seeds K] [--ops K] [--seed S]
 //                 [--gnm DENSITY] [--net ...] [--threads T] [--out FILE]
@@ -30,6 +32,9 @@
 // `--record` writes the generated trace as a reproducible artifact and
 // `--sweep N --threads T` churns N worlds on a thread pool (aggregates are
 // bit-identical for every T). `--csv` emits machine-readable rows.
+// `--shards S` runs each simulation round-bulk-synchronously on S shard
+// workers (sim/shard.h); counters never change, wall time does, and
+// `build --repeat N --csv` reports it as `wall,<repeat>,<shards>,<min>,<med>`.
 // `report` runs the KKT-vs-baseline head-to-head grid
 // (scenario::run_headtohead) and prints per-size message bills plus the
 // fitted scaling exponent of every (task, algorithm) series; `--out`
@@ -138,6 +143,10 @@ kkt::scenario::NetSpec make_net_spec(const Args& a,
   }
   kkt::scenario::NetSpec spec;
   spec.kind = *kind;
+  // Intra-run sharding: --shards N parallelises rounds inside one
+  // simulation (sync networks; other kinds degrade to sequential).
+  // Counters are bit-identical at any N -- only wall time moves.
+  spec.shards.shards = int(a.num("shards", 1));
   return spec;
 }
 
@@ -253,12 +262,13 @@ int cmd_build(const Args& a) {
     std::sort(wall_ns.begin(), wall_ns.end());
     const double min_ms = double(wall_ns.front()) / 1e6;
     const double med_ms = double(wall_ns[(wall_ns.size() - 1) / 2]) / 1e6;
+    const int shards = std::max(1, static_cast<int>(a.num("shards", 1)));
     if (csv) {
-      std::printf("wall,%d,%.3f,%.3f\n", repeat, min_ms, med_ms);
+      std::printf("wall,%d,%d,%.3f,%.3f\n", repeat, shards, min_ms, med_ms);
     } else {
       std::printf("wall: min=%.3f ms median=%.3f ms over %d reps "
-                  "(1 warm-up discarded)\n",
-                  min_ms, med_ms, repeat);
+                  "at %d shard(s) (1 warm-up discarded)\n",
+                  min_ms, med_ms, repeat, shards);
     }
   }
   return ok && audit_ok ? 0 : 1;

@@ -33,6 +33,13 @@ class GhsSearch final : public sim::Protocol {
         rejected_(&rejected),
         state_(tree_.graph().node_count()) {}
 
+  // Opt out of shard workers: the shared `rejected_` table is written by the
+  // kGhsReject handler and read by begin() when same-round probes go out, so
+  // the outcome depends on the relative order of different nodes' handlers
+  // within a round. The sequential fast path keeps the baseline's historic
+  // message counts bit-exact at any shard setting.
+  bool shard_safe() const override { return false; }
+
   void on_start(sim::Network& net, NodeId self) override {
     assert(self == root_);
     begin(net, self, graph::kNoNode);

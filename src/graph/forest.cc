@@ -10,9 +10,17 @@
 
 namespace kkt::graph {
 
-void MarkedForest::grow(EdgeIdx e) const {
-  marks_.resize(e + 1, 0);
-  epochs_.resize(e + 1, 0);
+void MarkedForest::grow(EdgeIdx e) {
+  const std::size_t want = 2 * (static_cast<std::size_t>(e) + 1);
+  if (half_marks_.size() < want) {
+    half_marks_.resize(want, 0);
+    half_epochs_.resize(want, 0);
+  }
+}
+
+void MarkedForest::sync_capacity() {
+  const std::size_t slots = graph_->edge_slots();
+  if (slots > 0) grow(static_cast<EdgeIdx>(slots - 1));
 }
 
 int MarkedForest::slot(EdgeIdx e, NodeId endpoint) const {
@@ -23,60 +31,68 @@ int MarkedForest::slot(EdgeIdx e, NodeId endpoint) const {
 
 void MarkedForest::mark_half(EdgeIdx e, NodeId endpoint, std::uint32_t epoch) {
   ensure_size(e);
-  marks_[e] |= static_cast<std::uint8_t>(1u << slot(e, endpoint));
-  epochs_[e] = epoch;
+  const std::size_t i = 2 * static_cast<std::size_t>(e) + slot(e, endpoint);
+  half_marks_[i] = 1;
+  half_epochs_[i] = epoch;
 }
 
 std::uint32_t MarkedForest::mark_epoch(EdgeIdx e) const {
-  ensure_size(e);
-  return epochs_[e];
+  const std::size_t i = 2 * static_cast<std::size_t>(e);
+  if (i + 1 >= half_epochs_.size()) return 0;
+  return std::max(half_epochs_[i], half_epochs_[i + 1]);
 }
 
 std::uint32_t MarkedForest::max_mark_epoch() const {
   std::uint32_t best = 0;
-  for (EdgeIdx e = 0; e < marks_.size(); ++e) {
-    if (is_marked(e) && epochs_[e] > best) best = epochs_[e];
+  for (EdgeIdx e = 0; e < edge_slots_grown(); ++e) {
+    if (is_marked(e)) best = std::max(best, mark_epoch(e));
   }
   return best;
 }
 
 void MarkedForest::unmark_half(EdgeIdx e, NodeId endpoint) {
   ensure_size(e);
-  marks_[e] &= static_cast<std::uint8_t>(~(1u << slot(e, endpoint)));
+  const std::size_t i = 2 * static_cast<std::size_t>(e) + slot(e, endpoint);
+  half_marks_[i] = 0;
+  half_epochs_[i] = 0;
 }
 
 bool MarkedForest::half_marked(EdgeIdx e, NodeId endpoint) const {
-  ensure_size(e);
-  return (marks_[e] >> slot(e, endpoint)) & 1u;
+  const std::size_t i = 2 * static_cast<std::size_t>(e) + slot(e, endpoint);
+  return i < half_marks_.size() && half_marks_[i] != 0;
 }
 
 void MarkedForest::mark_edge(EdgeIdx e, std::uint32_t epoch) {
   ensure_size(e);
-  marks_[e] = 3;
-  epochs_[e] = epoch;
+  const std::size_t i = 2 * static_cast<std::size_t>(e);
+  half_marks_[i] = half_marks_[i + 1] = 1;
+  half_epochs_[i] = half_epochs_[i + 1] = epoch;
 }
 
 void MarkedForest::unmark_edge(EdgeIdx e) { clear_edge(e); }
 
 void MarkedForest::clear_edge(EdgeIdx e) {
   ensure_size(e);
-  marks_[e] = 0;
+  const std::size_t i = 2 * static_cast<std::size_t>(e);
+  half_marks_[i] = half_marks_[i + 1] = 0;
+  half_epochs_[i] = half_epochs_[i + 1] = 0;
 }
 
 void MarkedForest::clear_all() {
-  std::fill(marks_.begin(), marks_.end(), 0);
+  std::fill(half_marks_.begin(), half_marks_.end(), 0);
 }
 
 bool MarkedForest::properly_marked() const {
-  for (EdgeIdx e = 0; e < marks_.size(); ++e) {
-    if (marks_[e] != 0 && marks_[e] != 3) return false;
+  for (EdgeIdx e = 0; e < edge_slots_grown(); ++e) {
+    const std::size_t i = 2 * static_cast<std::size_t>(e);
+    if (half_marks_[i] != half_marks_[i + 1]) return false;
   }
   return true;
 }
 
 std::vector<EdgeIdx> MarkedForest::marked_edges() const {
   std::vector<EdgeIdx> out;
-  for (EdgeIdx e = 0; e < marks_.size(); ++e) {
+  for (EdgeIdx e = 0; e < edge_slots_grown(); ++e) {
     if (is_marked(e)) out.push_back(e);
   }
   return out;

@@ -9,6 +9,15 @@
 // halves via messages (the Add-Edge handshake). The audit methods let tests
 // assert the properly-marked invariant and the impromptu discipline (between
 // updates a node stores nothing but its incident edges and these bits).
+//
+// Shard-safety contract (the sharded sim::Network runs handlers of distinct
+// nodes on worker threads): each endpoint's half-mark and half-epoch live in
+// their own array elements -- distinct memory locations per the C++ memory
+// model -- so the two endpoints of one edge may mark/unmark concurrently.
+// Read accessors are bounds-checked and never grow storage; growth happens
+// only in mutators and in sync_capacity(), both of which must be called
+// from sequential context (marking protocols sync capacity in their
+// constructors, before Network::run fans handlers out).
 #pragma once
 
 #include <cstdint>
@@ -20,7 +29,7 @@ namespace kkt::graph {
 
 class MarkedForest {
  public:
-  explicit MarkedForest(const Graph& g) : graph_(&g) {}
+  explicit MarkedForest(const Graph& g) : graph_(&g) { sync_capacity(); }
 
   // --- per-endpoint marking (what protocols do) ---------------------------
   // `epoch` records when the mark was placed; construction phases use it to
@@ -35,6 +44,13 @@ class MarkedForest {
   // phased operation pick fresh epochs above everything already placed.
   std::uint32_t max_mark_epoch() const;
 
+  // Grows the half-mark/epoch arrays to cover every current edge slot of
+  // the graph. Sequential-context only (it may reallocate); protocols whose
+  // handlers mark or unmark halves call this in their constructors so that
+  // no handler -- possibly running on a shard worker -- ever triggers
+  // growth mid-run.
+  void sync_capacity();
+
   // --- symmetric convenience (driver/test use) ----------------------------
   void mark_edge(EdgeIdx e, std::uint32_t epoch = 0);
   void unmark_edge(EdgeIdx e);
@@ -44,15 +60,21 @@ class MarkedForest {
 
   // An edge is in the maintained forest iff both halves are marked.
   // Inline: this is the filter predicate of every TreeView neighbor walk,
-  // the single hottest call in the protocol layer.
+  // the single hottest call in the protocol layer. Pure read: edges beyond
+  // the grown range are simply unmarked.
   bool is_marked(EdgeIdx e) const {
-    ensure_size(e);
-    return marks_[e] == 3 && graph_->alive(e);
+    const std::size_t i = 2 * static_cast<std::size_t>(e);
+    return i + 1 < half_marks_.size() &&
+           (half_marks_[i] & half_marks_[i + 1]) != 0 && graph_->alive(e);
   }
 
   // Marked and placed no later than the given epoch.
   bool is_marked_at(EdgeIdx e, std::uint32_t epoch_limit) const {
-    return is_marked(e) && epochs_[e] <= epoch_limit;
+    if (!is_marked(e)) return false;
+    const std::size_t i = 2 * static_cast<std::size_t>(e);
+    const std::uint32_t eu = half_epochs_[i];
+    const std::uint32_t ev = half_epochs_[i + 1];
+    return (eu > ev ? eu : ev) <= epoch_limit;
   }
 
   // Every edge has zero or two marked halves.
@@ -81,18 +103,26 @@ class MarkedForest {
   const Graph& graph() const noexcept { return *graph_; }
 
  private:
-  void ensure_size(EdgeIdx e) const {
-    if (marks_.size() <= e) grow(e);
+  // Mutator-only growth: reads never resize (see class comment).
+  void ensure_size(EdgeIdx e) {
+    if (half_marks_.size() <= 2 * static_cast<std::size_t>(e) + 1) grow(e);
   }
-  void grow(EdgeIdx e) const;  // out-of-line slow path of ensure_size
-  // Returns 0 or 1 for the endpoint's slot in marks_.
+  void grow(EdgeIdx e);  // out-of-line slow path of ensure_size
+  // Returns 0 or 1 for the endpoint's slot in the interleaved arrays.
   int slot(EdgeIdx e, NodeId endpoint) const;
+  std::size_t edge_slots_grown() const noexcept {
+    return half_marks_.size() / 2;
+  }
 
   const Graph* graph_;
-  // Two half-mark bits per edge slot; lazily grown.
-  mutable std::vector<std::uint8_t> marks_;
-  // Epoch at which the edge was marked (phase number during construction).
-  mutable std::vector<std::uint32_t> epochs_;
+  // Interleaved per-endpoint mark bytes: element 2e + slot is endpoint
+  // slot's half of edge e. Distinct bytes per endpoint keep concurrent
+  // half-writes from different shards race-free.
+  std::vector<std::uint8_t> half_marks_;
+  // Per-endpoint epoch at which the half was marked; an edge's epoch is the
+  // max over its two halves (both halves carry the same value in every
+  // marking flow, so this matches the historical single-epoch semantics).
+  std::vector<std::uint32_t> half_epochs_;
 };
 
 // A node-local lens on the maintained tree: the marked incident edges as of

@@ -13,9 +13,10 @@ namespace {
 // ---------------------------------------------------------------------------
 
 constexpr std::array<std::string_view, kRuleCount> kRuleNames = {
-    "rand-source",        "unordered-iter", "ptr-key-ordered",
-    "hotpath-alloc",      "pragma-once",    "using-namespace-header",
-    "test-unregistered",  "bad-suppression", "unused-suppression",
+    "rand-source",         "unordered-iter",      "ptr-key-ordered",
+    "hotpath-alloc",       "shard-unsafe-static", "pragma-once",
+    "using-namespace-header", "test-unregistered", "bad-suppression",
+    "unused-suppression",
 };
 
 // ---------------------------------------------------------------------------
@@ -637,6 +638,46 @@ std::vector<Finding> scan_file(std::string_view path, std::string_view text,
                    "fixed-capacity storage (InlineWords)");
       });
     }
+  }
+
+  // --- shard-unsafe-static -------------------------------------------------
+  // Hot-path code runs concurrently on shard workers (sim/network.h,
+  // "Sharded fast path"): a mutable static is one object shared by every
+  // worker -- an unsynchronized write is a data race and any synchronized
+  // one is a hidden cross-shard channel -- while thread_local silently
+  // forks state per worker, breaking the one-Network-one-state model.
+  // Immutable statics (const/constexpr) are fine; static functions are not
+  // data. Deliberate uses (the shard lane pointer itself) carry a justified
+  // allow-comment.
+  if (cls.hot_path) {
+    find_words(code, "static", /*word_end=*/true, [&](std::size_t pos) {
+      const std::string_view next =
+          ident_after(code, pos + std::string_view("static").size());
+      // `static thread_local` reports once, via the thread_local pattern.
+      if (next == "const" || next == "constexpr" || next == "thread_local") {
+        return;
+      }
+      std::size_t b = pos;
+      while (b > 0 && (code[b - 1] == ' ' || code[b - 1] == '\n')) --b;
+      if (ident_before(code, b) == "constexpr") return;
+      // Data, not functions: a declarator that reaches '(' before any of
+      // ';', '=' or '{' is a (member) function declaration or definition.
+      for (std::size_t p = pos; p < code.size(); ++p) {
+        const char c = code[p];
+        if (c == '(') return;
+        if (c == ';' || c == '=' || c == '{') break;
+      }
+      report(RuleId::kShardUnsafeStatic, pos,
+             "mutable static in shard-hot code -- one object shared by "
+             "every shard worker; keep state node-indexed or per-lane "
+             "(sim/network.h sharded fast path)");
+    });
+    find_words(code, "thread_local", /*word_end=*/true, [&](std::size_t pos) {
+      report(RuleId::kShardUnsafeStatic, pos,
+             "thread_local in shard-hot code -- state silently forks per "
+             "worker thread; keep state node-indexed or per-lane, or "
+             "justify the exception with an allow-comment");
+    });
   }
 
   // --- header hygiene ------------------------------------------------------

@@ -25,12 +25,15 @@ namespace kkt::lint {
 // allocating constructs statically. The perf campaign (PR 7) added the
 // round-bucket delivery path, the protocol scratch arenas and the
 // Barrett/hash inner loops -- all steady-state allocation-free, so they
-// ride the same rule.
-inline constexpr std::array<std::string_view, 11> kHotPathFiles = {
+// ride the same rule. The sharded executor (PR 8) added sim/shard.h; hot
+// files also get the shard-unsafe-static rule, since these are exactly the
+// files whose code runs concurrently on shard workers.
+inline constexpr std::array<std::string_view, 12> kHotPathFiles = {
     "src/sim/inline_words.h", "src/sim/message.h", "src/sim/message.cc",
-    "src/sim/network.h",      "src/sim/network.cc", "src/proto/words.h",
-    "src/core/wire.h",        "src/proto/scratch.h", "src/util/modmath.h",
-    "src/hashing/odd_hash.h", "src/hashing/pairwise_hash.h",
+    "src/sim/network.h",      "src/sim/network.cc", "src/sim/shard.h",
+    "src/proto/words.h",      "src/core/wire.h",   "src/proto/scratch.h",
+    "src/util/modmath.h",     "src/hashing/odd_hash.h",
+    "src/hashing/pairwise_hash.h",
 };
 
 // Rule classes for a repo-relative path ('/'-separated); nullopt when the

@@ -14,6 +14,7 @@
 // unmarked, so 'enough' mergers still occur").
 #pragma once
 
+#include <atomic>
 #include <vector>
 
 #include "graph/forest.h"
@@ -33,7 +34,9 @@ class CycleBreak final : public sim::Protocol {
                   const sim::Message& msg) override;
 
   // Number of unmark decisions made (each counted once per endpoint).
-  int half_unmarks() const noexcept { return half_unmarks_; }
+  int half_unmarks() const noexcept {
+    return half_unmarks_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct NodeState {
@@ -44,7 +47,10 @@ class CycleBreak final : public sim::Protocol {
   graph::MarkedForest* forest_;
   std::vector<CycleMember> members_;
   std::vector<NodeState> state_;
-  int half_unmarks_ = 0;
+  // Atomic: both endpoints of a doubly-picked edge decide to unmark in the
+  // same round, possibly on different shard workers. A relaxed sum is
+  // order-independent, so the tally stays deterministic at any shard count.
+  std::atomic<int> half_unmarks_{0};
 };
 
 }  // namespace kkt::proto

@@ -92,17 +92,22 @@ graph::Graph build_graph(const GraphSpec& spec, std::uint64_t seed) {
 std::unique_ptr<sim::Network> make_network(const graph::Graph& g,
                                            const NetSpec& spec,
                                            std::uint64_t seed) {
+  std::unique_ptr<sim::Network> net;
   switch (spec.kind) {
     case NetKind::kSync:
-      return std::make_unique<sim::SyncNetwork>(g, seed);
+      net = std::make_unique<sim::SyncNetwork>(g, seed);
+      break;
     case NetKind::kAsync:
-      return std::make_unique<sim::AsyncNetwork>(g, seed, spec.async_cfg);
+      net = std::make_unique<sim::AsyncNetwork>(g, seed, spec.async_cfg);
+      break;
     case NetKind::kAdversarial:
-      return std::make_unique<sim::AdversarialNetwork>(g, seed,
-                                                       spec.adversarial_cfg);
+      net = std::make_unique<sim::AdversarialNetwork>(g, seed,
+                                                      spec.adversarial_cfg);
+      break;
   }
-  assert(false && "unknown network kind");
-  return nullptr;
+  assert(net != nullptr && "unknown network kind");
+  net->set_shards(spec.shards);
+  return net;
 }
 
 World make_world(std::unique_ptr<graph::Graph> g, const NetSpec& net,

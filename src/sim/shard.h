@@ -1,0 +1,73 @@
+// Node sharding for the round-bulk-synchronous executor.
+//
+// A ShardSpec names a deterministic partition of the node ids into S
+// shards; sim::Network uses it to split each round's deliveries across a
+// worker pool (see network.h, "Sharded fast path"). Both partitions are
+// pure functions of (node id, node count, S) -- no RNG, no pointers, no
+// platform-dependent hashing -- so the same spec always produces the same
+// placement, which the determinism contract (counters bit-identical at any
+// S) relies on.
+//
+//  - kContiguous: ceil(n/S)-sized id blocks. Preserves generator locality
+//    (G(n,m)/complete families hand out clustered ids), the right default.
+//  - kHash: a fixed 64-bit mixer over the id, modulo S. Spreads hot spots
+//    when the id space is adversarially clustered.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace kkt::sim {
+
+enum class ShardPartition : std::uint8_t {
+  kContiguous = 0,
+  kHash = 1,
+};
+
+struct ShardSpec {
+  int shards = 1;  // S < 1 is normalized to 1 by Network::set_shards
+  ShardPartition partition = ShardPartition::kContiguous;
+
+  friend bool operator==(const ShardSpec&, const ShardSpec&) = default;
+};
+
+// The materialized placement function for one (spec, node count) pair.
+// reset() is sequential-context; shard_of() is const, lock-free, and called
+// concurrently by every shard worker.
+class ShardMap {
+ public:
+  void reset(const ShardSpec& spec, std::uint32_t node_count) {
+    shards_ = spec.shards < 1 ? 1 : spec.shards;
+    partition_ = spec.partition;
+    // ceil(n/S); max id n-1 then maps below S. block_ >= 1 keeps the
+    // division well-defined for empty graphs.
+    block_ = (node_count + static_cast<std::uint32_t>(shards_) - 1) /
+             static_cast<std::uint32_t>(shards_);
+    if (block_ == 0) block_ = 1;
+  }
+
+  int shards() const noexcept { return shards_; }
+
+  int shard_of(graph::NodeId v) const noexcept {
+    if (partition_ == ShardPartition::kContiguous) {
+      return static_cast<int>(v / block_);
+    }
+    // splitmix64-style finalizer: fixed-width arithmetic only, identical on
+    // every platform.
+    std::uint64_t x = v;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<int>(x % static_cast<std::uint64_t>(shards_));
+  }
+
+ private:
+  int shards_ = 1;
+  ShardPartition partition_ = ShardPartition::kContiguous;
+  std::uint32_t block_ = 1;
+};
+
+}  // namespace kkt::sim

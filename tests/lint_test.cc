@@ -231,6 +231,47 @@ TEST(HotpathAlloc, SameTextOffHotPathIsClean) {
   EXPECT_TRUE(fs.empty());
 }
 
+// --- shard-unsafe-static ---------------------------------------------------
+
+TEST(ShardUnsafeStatic, FlagsMutableStaticsAndThreadLocal) {
+  const auto fs = scan(
+      "static int counter;\n"
+      "static std::vector<int> cache = {};\n"
+      "thread_local int scratch = 0;\n"
+      "static thread_local int lane_id;\n",  // one finding, not two
+      hot_path_class());
+  EXPECT_EQ(count_rule(fs, RuleId::kShardUnsafeStatic), 4);
+}
+
+TEST(ShardUnsafeStatic, ConstantsAndFunctionsAreClean) {
+  const auto fs = scan(
+      "static constexpr std::uint64_t kMax = 1u << 26;\n"
+      "constexpr static int kTableSize = 8;\n"
+      "static const char* kName = \"net\";\n"
+      "static bool event_later(const Event& a, const Event& b) noexcept {\n"
+      "  return a.at > b.at;\n"
+      "}\n"
+      "static_assert(sizeof(int) == 4);\n",
+      hot_path_class());
+  EXPECT_TRUE(fs.empty()) << findings_to_text(fs, 1, {});
+}
+
+TEST(ShardUnsafeStatic, SuppressibleWithJustification) {
+  ScanStats stats;
+  const auto fs = scan(
+      "// kkt-lint: allow(shard-unsafe-static): worker-owned lane pointer\n"
+      "static thread_local Lane* t_lane;\n",
+      hot_path_class(), &stats);
+  EXPECT_TRUE(fs.empty()) << findings_to_text(fs, 1, {});
+  EXPECT_EQ(stats.suppressions_used, 1);
+}
+
+TEST(ShardUnsafeStatic, SameTextOffHotPathIsClean) {
+  const auto fs = scan("static int counter;\nthread_local int x;\n",
+                       determinism_class());
+  EXPECT_TRUE(fs.empty());
+}
+
 // --- header hygiene --------------------------------------------------------
 
 TEST(HeaderHygiene, MissingPragmaOnce) {
