@@ -19,6 +19,14 @@
 #   ci/run.sh lint      # kkt_lint self-scan (determinism/allocation rules,
 #                       # docs/LINT_RULES.md) + clang-tidy build when the
 #                       # binary is available; archives LINT_findings.json
+#   ci/run.sh bigraph   # web-scale backend gate (docs/GRAPH_STORE.md):
+#                       # backend-labelled tests (equivalence + implicit
+#                       # oracles + store corruption matrix), pack/validate
+#                       # a .kkg store artifact, BuildMST from the mmap'd
+#                       # store, then the build_mst_xl grid up to
+#                       # n = 1048576 on the implicit backend -- fails when
+#                       # peak RSS exceeds the documented 2 GiB budget;
+#                       # archives BENCH_bigraph.json + the .kkg store
 #   ci/run.sh perf      # release build + wall-clock bench passes
 #                       # (KKT_BENCH_WALL median-of-k); gates on
 #                       # bench/baselines/ via `kkt_report perf` -- counter
@@ -142,16 +150,54 @@ run_lint() {
   echo "==> archived LINT_findings.json"
 }
 
+# Bigraph stage: the web-scale backend gate (docs/GRAPH_STORE.md). The
+# backend-labelled suite pins cross-backend metric bit-identity, the
+# implicit family oracles and the store corruption matrix; the CLI chain
+# proves a packed .kkg round-trips through the mmap backend end to end;
+# and the build_mst_xl grid completes a BuildMST point at n = 1048576 on
+# the implicit backend. The RSS gate is hard: the documented budget
+# (2 GiB, docs/GRAPH_STORE.md) is ~4x the measured footprint, so tripping
+# it means the O(n) resident-state property regressed, not runner noise.
+# Wall/RSS telemetry lands in BENCH_bigraph.json via --measure, which is
+# why this artifact is advisory-only and never drift-checked against docs.
+run_bigraph() {
+  build_release
+  echo "==> backend-labelled tests (equivalence, implicit oracles, store)"
+  ctest --test-dir build/release -L backend --output-on-failure -j "$jobs"
+  echo "==> pack + validate a .kkg store artifact"
+  ./build/release/tools/kkt_graphstore pack --family igridlong --n 65536 \
+    --aux 2 --seed 1 --out STORE_igridlong_65536.kkg
+  ./build/release/tools/kkt_graphstore info STORE_igridlong_65536.kkg
+  echo "==> BuildMST from the mmap'd store (read-only kMapped backend)"
+  ./build/release/examples/kkt_lab build --algo kkt-mst \
+    --store STORE_igridlong_65536.kkg --rss-budget-mb 2048
+  echo "==> web-scale grid: build_mst_xl up to n = 1048576 (implicit)"
+  local run_log
+  run_log=$(./build/release/tools/kkt_report run --sizes 64,128 --seeds 1 \
+    --ops 2 --xl-sizes 65536,262144,1048576 --measure \
+    --out BENCH_bigraph.json | tee /dev/stderr)
+  local rss_kb budget_kb=$((2048 * 1024))
+  rss_kb=$(sed -n 's/^peak_rss_kb=//p' <<<"$run_log")
+  if [ -n "$rss_kb" ] && [ "$rss_kb" -gt "$budget_kb" ]; then
+    echo "FAIL: peak RSS ${rss_kb} KiB exceeds the documented" \
+         "$((budget_kb / 1024)) MiB budget (docs/GRAPH_STORE.md)" >&2
+    exit 1
+  fi
+  echo "==> peak RSS ${rss_kb:-unknown} KiB within the 2 GiB budget"
+  echo "==> archived BENCH_bigraph.json STORE_igridlong_65536.kkg"
+}
+
 case "$stage" in
-  dev)    run_preset dev ;;
-  asan)   run_preset asan ;;
-  tsan)   run_preset tsan ;;
-  bench)  run_bench_baseline ;;
-  report) run_report ;;
-  lint)   run_lint ;;
-  perf)   run_perf ;;
-  all)    run_preset dev; run_preset asan; run_preset tsan; run_lint ;;
-  *)      echo "usage: $0 [dev|asan|tsan|bench|report|lint|perf|all]" >&2; exit 2 ;;
+  dev)     run_preset dev ;;
+  asan)    run_preset asan ;;
+  tsan)    run_preset tsan ;;
+  bench)   run_bench_baseline ;;
+  report)  run_report ;;
+  lint)    run_lint ;;
+  perf)    run_perf ;;
+  bigraph) run_bigraph ;;
+  all)     run_preset dev; run_preset asan; run_preset tsan; run_lint ;;
+  *)       echo "usage: $0 [dev|asan|tsan|bench|report|lint|perf|bigraph|all]" >&2; exit 2 ;;
 esac
 
 echo "==> OK [$stage]"

@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
         // What the naive strategy would pay for the same cut (measured on a
         // scratch copy of the world so costs do not mix).
         if (tree_edge) {
-          kkt::graph::Graph g2 = g;
+          kkt::graph::Graph g2 = g.clone();
           kkt::sim::AsyncNetwork net2(
               g2, seed + 100 + static_cast<std::uint64_t>(op_index));
           g2.remove_edge(*edge);

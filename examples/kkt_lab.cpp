@@ -1,13 +1,14 @@
 // kkt_lab: a command-line laboratory for the library.
 //
 //   kkt_lab gen   --family gnm|gnp|complete|ring|grid|barbell|geometric|
-//                          pa|tree|hier
-//                 [--n N] [--m M] [--levels L] [--maxw W] [--seed S]
-//                 [--out FILE]
+//                          pa|tree|hier|icomplete|igridlong|igeo
+//                 [--n N] [--m M] [--levels L] [--links K] [--degree D]
+//                 [--maxw W] [--seed S] [--out FILE]
 //   kkt_lab build --algo kkt-mst|kkt-st|ghs|flood
-//                 (--in FILE | --family ... as above) [--seed S]
+//                 (--in FILE | --store FILE.kkg | --family ... as above)
+//                 [--backend auto|adjacency|csr|implicit] [--seed S]
 //                 [--net sync|async|adversarial] [--shards S]
-//                 [--repeat N] [--csv]
+//                 [--repeat N] [--rss-budget-mb MB] [--csv]
 //   kkt_lab repair --kind mst|st --ops K
 //                 (--in FILE | --family ...) [--seed S]
 //                 [--net sync|async|adversarial] [--shards S] [--csv]
@@ -35,6 +36,13 @@
 // `--shards S` runs each simulation round-bulk-synchronously on S shard
 // workers (sim/shard.h); counters never change, wall time does, and
 // `build --repeat N --csv` reports it as `wall,<repeat>,<shards>,<min>,<med>`.
+// `--backend` picks the graph storage backend (docs/GRAPH_STORE.md): auto
+// resolves to implicit for the icomplete/igridlong/igeo families, so
+// `build --family igridlong --n 1048576` runs at web scale with O(n)
+// resident state. `build --store FILE.kkg` maps a packed store
+// (kkt_graphstore pack) instead of generating; `--rss-budget-mb MB` prints
+// the process peak RSS after the run and fails the exit code when it
+// exceeds the budget -- the CI bigraph stage's memory gate.
 // `report` runs the KKT-vs-baseline head-to-head grid
 // (scenario::run_headtohead) and prints per-size message bills plus the
 // fitted scaling exponent of every (task, algorithm) series; `--out`
@@ -57,9 +65,11 @@
 #include "core/verify.h"
 #include "graph/io.h"
 #include "graph/mst_oracle.h"
+#include "graph/store.h"
 #include "report/schema.h"
 #include "scenario/headtohead.h"
 #include "scenario/scenario.h"
+#include "util/rusage.h"
 #include "workload/churn.h"
 #include "workload/trace.h"
 
@@ -114,12 +124,34 @@ kkt::scenario::GraphSpec make_graph_spec(const Args& a) {
     case F::kGnp: spec.param = 2.0 * double(spec.m) /
                                (double(spec.n) * double(spec.n - 1)); break;
     case F::kGeometric: spec.param = 0.5; break;
+    case F::kIGridLong: spec.aux = a.num("links", 2); break;
+    case F::kIGeometric:
+      spec.param = double(a.num("degree", 8));
+      break;
     default: break;
   }
+  const std::string backend = a.get("backend", "auto");
+  const auto b = kkt::scenario::backend_from_name(backend);
+  if (!b) {
+    std::fprintf(stderr, "error: unknown backend '%s'\n", backend.c_str());
+    std::exit(2);
+  }
+  spec.backend = *b;
   return spec;
 }
 
 kkt::graph::Graph make_graph(const Args& a, kkt::util::Rng& rng) {
+  if (a.has("store")) {
+    // Map a packed .kkg (kkt_graphstore pack) read-only; the mapping stays
+    // alive for the graph's lifetime.
+    std::string err;
+    auto store = kkt::graph::MappedStore::open(a.get("store", ""), &err);
+    if (store == nullptr) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      std::exit(2);
+    }
+    return kkt::graph::Graph::from_store(std::move(store));
+  }
   if (a.has("in")) {
     std::string err;
     auto g = kkt::graph::read_graph_file(a.get("in", ""), rng, &err);
@@ -271,11 +303,34 @@ int cmd_build(const Args& a) {
                   min_ms, med_ms, repeat, shards);
     }
   }
+  // Memory gate: always report peak RSS when a budget is set (the CI
+  // bigraph stage greps this line); exceed it and the exit code trips.
+  const std::uint64_t budget_mb = a.num("rss-budget-mb", 0);
+  if (budget_mb != 0) {
+    const std::uint64_t rss_kb = kkt::util::peak_rss_kb();
+    const bool over = rss_kb > budget_mb * 1024;
+    if (csv) {
+      std::printf("rss,%" PRIu64 ",%" PRIu64 ",%s\n", rss_kb, budget_mb,
+                  over ? "OVER" : "ok");
+    } else {
+      std::printf("peak RSS: %.1f MiB (budget %" PRIu64 " MiB): %s\n",
+                  double(rss_kb) / 1024.0, budget_mb,
+                  over ? "OVER BUDGET" : "ok");
+    }
+    if (over) return 1;
+  }
   return ok && audit_ok ? 0 : 1;
 }
 
 int cmd_repair(const Args& a) {
   const std::uint64_t seed = a.num("seed", 1);
+  if (a.has("store")) {
+    // The mapped backend is read-only (no remove_edge); repair mutates.
+    std::fprintf(stderr,
+                 "error: repair mutates the graph; --store maps a read-only "
+                 ".kkg (use --in or --family)\n");
+    return 2;
+  }
   kkt::util::Rng rng(seed);
   kkt::graph::Graph g = make_graph(a, rng);
   const bool mst = a.get("kind", "mst") == "mst";

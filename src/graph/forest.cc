@@ -11,6 +11,7 @@
 namespace kkt::graph {
 
 void MarkedForest::grow(EdgeIdx e) {
+  assert(!sparse_);
   const std::size_t want = 2 * (static_cast<std::size_t>(e) + 1);
   if (half_marks_.size() < want) {
     half_marks_.resize(want, 0);
@@ -19,24 +20,43 @@ void MarkedForest::grow(EdgeIdx e) {
 }
 
 void MarkedForest::sync_capacity() {
+  if (sparse_) return;  // the map needs no pre-sizing
   const std::size_t slots = graph_->edge_slots();
   if (slots > 0) grow(static_cast<EdgeIdx>(slots - 1));
 }
 
 int MarkedForest::slot(EdgeIdx e, NodeId endpoint) const {
-  const Edge& ed = graph_->edge(e);
+  const Edge ed = graph_->edge(e);
   assert(endpoint == ed.u || endpoint == ed.v);
   return endpoint == ed.u ? 0 : 1;
 }
 
+bool MarkedForest::sparse_marked(EdgeIdx e) const {
+  const auto it = sparse_marks_.find(e);
+  return it != sparse_marks_.end() && it->second.marks[0] != 0 &&
+         it->second.marks[1] != 0 && graph_->alive(e);
+}
+
 void MarkedForest::mark_half(EdgeIdx e, NodeId endpoint, std::uint32_t epoch) {
+  const int s = slot(e, endpoint);
+  if (sparse_) {
+    SparseMarks& sm = sparse_marks_[e];
+    sm.marks[s] = 1;
+    sm.epochs[s] = epoch;
+    return;
+  }
   ensure_size(e);
-  const std::size_t i = 2 * static_cast<std::size_t>(e) + slot(e, endpoint);
+  const std::size_t i = 2 * static_cast<std::size_t>(e) + s;
   half_marks_[i] = 1;
   half_epochs_[i] = epoch;
 }
 
 std::uint32_t MarkedForest::mark_epoch(EdgeIdx e) const {
+  if (sparse_) {
+    const auto it = sparse_marks_.find(e);
+    if (it == sparse_marks_.end()) return 0;
+    return std::max(it->second.epochs[0], it->second.epochs[1]);
+  }
   const std::size_t i = 2 * static_cast<std::size_t>(e);
   if (i + 1 >= half_epochs_.size()) return 0;
   return std::max(half_epochs_[i], half_epochs_[i + 1]);
@@ -44,6 +64,12 @@ std::uint32_t MarkedForest::mark_epoch(EdgeIdx e) const {
 
 std::uint32_t MarkedForest::max_mark_epoch() const {
   std::uint32_t best = 0;
+  if (sparse_) {
+    for (const auto& [e, sm] : sparse_marks_) {
+      if (is_marked(e)) best = std::max(best, mark_epoch(e));
+    }
+    return best;
+  }
   for (EdgeIdx e = 0; e < edge_slots_grown(); ++e) {
     if (is_marked(e)) best = std::max(best, mark_epoch(e));
   }
@@ -51,18 +77,37 @@ std::uint32_t MarkedForest::max_mark_epoch() const {
 }
 
 void MarkedForest::unmark_half(EdgeIdx e, NodeId endpoint) {
+  const int s = slot(e, endpoint);
+  if (sparse_) {
+    const auto it = sparse_marks_.find(e);
+    if (it == sparse_marks_.end()) return;
+    it->second.marks[s] = 0;
+    it->second.epochs[s] = 0;
+    return;
+  }
   ensure_size(e);
-  const std::size_t i = 2 * static_cast<std::size_t>(e) + slot(e, endpoint);
+  const std::size_t i = 2 * static_cast<std::size_t>(e) + s;
   half_marks_[i] = 0;
   half_epochs_[i] = 0;
 }
 
 bool MarkedForest::half_marked(EdgeIdx e, NodeId endpoint) const {
-  const std::size_t i = 2 * static_cast<std::size_t>(e) + slot(e, endpoint);
+  const int s = slot(e, endpoint);
+  if (sparse_) {
+    const auto it = sparse_marks_.find(e);
+    return it != sparse_marks_.end() && it->second.marks[s] != 0;
+  }
+  const std::size_t i = 2 * static_cast<std::size_t>(e) + s;
   return i < half_marks_.size() && half_marks_[i] != 0;
 }
 
 void MarkedForest::mark_edge(EdgeIdx e, std::uint32_t epoch) {
+  if (sparse_) {
+    SparseMarks& sm = sparse_marks_[e];
+    sm.marks[0] = sm.marks[1] = 1;
+    sm.epochs[0] = sm.epochs[1] = epoch;
+    return;
+  }
   ensure_size(e);
   const std::size_t i = 2 * static_cast<std::size_t>(e);
   half_marks_[i] = half_marks_[i + 1] = 1;
@@ -72,6 +117,10 @@ void MarkedForest::mark_edge(EdgeIdx e, std::uint32_t epoch) {
 void MarkedForest::unmark_edge(EdgeIdx e) { clear_edge(e); }
 
 void MarkedForest::clear_edge(EdgeIdx e) {
+  if (sparse_) {
+    sparse_marks_.erase(e);
+    return;
+  }
   ensure_size(e);
   const std::size_t i = 2 * static_cast<std::size_t>(e);
   half_marks_[i] = half_marks_[i + 1] = 0;
@@ -79,10 +128,17 @@ void MarkedForest::clear_edge(EdgeIdx e) {
 }
 
 void MarkedForest::clear_all() {
+  sparse_marks_.clear();
   std::fill(half_marks_.begin(), half_marks_.end(), 0);
 }
 
 bool MarkedForest::properly_marked() const {
+  if (sparse_) {
+    for (const auto& [e, sm] : sparse_marks_) {
+      if (sm.marks[0] != sm.marks[1]) return false;
+    }
+    return true;
+  }
   for (EdgeIdx e = 0; e < edge_slots_grown(); ++e) {
     const std::size_t i = 2 * static_cast<std::size_t>(e);
     if (half_marks_[i] != half_marks_[i + 1]) return false;
@@ -92,6 +148,12 @@ bool MarkedForest::properly_marked() const {
 
 std::vector<EdgeIdx> MarkedForest::marked_edges() const {
   std::vector<EdgeIdx> out;
+  if (sparse_) {
+    for (const auto& [e, sm] : sparse_marks_) {
+      if (is_marked(e)) out.push_back(e);
+    }
+    return out;
+  }
   for (EdgeIdx e = 0; e < edge_slots_grown(); ++e) {
     if (is_marked(e)) out.push_back(e);
   }

@@ -18,18 +18,36 @@
 // only in mutators and in sync_capacity(), both of which must be called
 // from sequential context (marking protocols sync capacity in their
 // constructors, before Network::run fans handlers out).
+// Storage: dense interleaved arrays indexed by 2e + endpoint-slot, 10 bytes
+// per edge slot. Graphs whose edge-slot count exceeds a limit (implicit K_n
+// at n = 10^6 has ~5*10^11 slots) switch to a sparse std::map keyed by edge
+// index -- a maintained forest holds < n marked edges regardless of m, so
+// the map stays O(n). Sparse mode is NOT shard-safe (map nodes are shared
+// state); the limit is far above any graph the sharded executor can hold,
+// and implicit graphs opt out of sharding anyway (shard_parallel_safe).
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace kkt::graph {
 
+// Edge-slot count above which MarkedForest stores marks sparsely (dense
+// arrays would exceed ~10 GB).
+inline constexpr std::size_t kForestDenseSlotLimit = std::size_t{1} << 30;
+
 class MarkedForest {
  public:
-  explicit MarkedForest(const Graph& g) : graph_(&g) { sync_capacity(); }
+  // `dense_slot_limit` is a test seam; the default keeps every materialised
+  // graph dense and flips only web-scale implicit families to sparse.
+  explicit MarkedForest(const Graph& g,
+                        std::size_t dense_slot_limit = kForestDenseSlotLimit)
+      : graph_(&g), sparse_(g.edge_slots() > dense_slot_limit) {
+    sync_capacity();
+  }
 
   // --- per-endpoint marking (what protocols do) ---------------------------
   // `epoch` records when the mark was placed; construction phases use it to
@@ -63,6 +81,7 @@ class MarkedForest {
   // the single hottest call in the protocol layer. Pure read: edges beyond
   // the grown range are simply unmarked.
   bool is_marked(EdgeIdx e) const {
+    if (sparse_) return sparse_marked(e);
     const std::size_t i = 2 * static_cast<std::size_t>(e);
     return i + 1 < half_marks_.size() &&
            (half_marks_[i] & half_marks_[i + 1]) != 0 && graph_->alive(e);
@@ -71,11 +90,15 @@ class MarkedForest {
   // Marked and placed no later than the given epoch.
   bool is_marked_at(EdgeIdx e, std::uint32_t epoch_limit) const {
     if (!is_marked(e)) return false;
+    if (sparse_) return mark_epoch(e) <= epoch_limit;
     const std::size_t i = 2 * static_cast<std::size_t>(e);
     const std::uint32_t eu = half_epochs_[i];
     const std::uint32_t ev = half_epochs_[i + 1];
     return (eu > ev ? eu : ev) <= epoch_limit;
   }
+
+  // Whether marks live in the sparse map (see class comment).
+  bool sparse() const noexcept { return sparse_; }
 
   // Every edge has zero or two marked halves.
   bool properly_marked() const;
@@ -103,9 +126,17 @@ class MarkedForest {
   const Graph& graph() const noexcept { return *graph_; }
 
  private:
+  // One edge's marks in sparse mode; same slot convention as the arrays.
+  struct SparseMarks {
+    std::uint8_t marks[2] = {0, 0};
+    std::uint32_t epochs[2] = {0, 0};
+  };
+
   // Mutator-only growth: reads never resize (see class comment).
   void ensure_size(EdgeIdx e) {
-    if (half_marks_.size() <= 2 * static_cast<std::size_t>(e) + 1) grow(e);
+    if (!sparse_ && half_marks_.size() <= 2 * static_cast<std::size_t>(e) + 1) {
+      grow(e);
+    }
   }
   void grow(EdgeIdx e);  // out-of-line slow path of ensure_size
   // Returns 0 or 1 for the endpoint's slot in the interleaved arrays.
@@ -113,8 +144,10 @@ class MarkedForest {
   std::size_t edge_slots_grown() const noexcept {
     return half_marks_.size() / 2;
   }
+  bool sparse_marked(EdgeIdx e) const;  // out-of-line sparse read
 
   const Graph* graph_;
+  bool sparse_ = false;
   // Interleaved per-endpoint mark bytes: element 2e + slot is endpoint
   // slot's half of edge e. Distinct bytes per endpoint keep concurrent
   // half-writes from different shards race-free.
@@ -123,6 +156,9 @@ class MarkedForest {
   // max over its two halves (both halves carry the same value in every
   // marking flow, so this matches the historical single-epoch semantics).
   std::vector<std::uint32_t> half_epochs_;
+  // Sparse mode: marks keyed by edge index (ascending iteration order keeps
+  // marked_edges / audits deterministic and identical to the dense walk).
+  std::map<EdgeIdx, SparseMarks> sparse_marks_;
 };
 
 // A node-local lens on the maintained tree: the marked incident edges as of

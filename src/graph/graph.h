@@ -1,54 +1,46 @@
 // The communications network: an undirected weighted graph with unique
 // external node IDs and (augmented-)unique edge weights.
 //
-// Supports dynamic edge insertion and deletion (for the impromptu-repair
-// algorithms of Theorem 1.2); node count is fixed. Removed edge slots stay
-// allocated but are marked dead, so EdgeIdx values held by callers remain
-// stable.
+// One read API, four storage backends (see docs/ARCHITECTURE.md):
+//
+//  * kAdjacency -- per-node vectors + growable edge table. The only backend
+//    that supports add_edge; used by generators and repair workloads.
+//  * kCsr       -- frozen topology compacted into one offsets/arena pair
+//    (~16 bytes per directed slot). Built by freeze_csr from any
+//    materialised graph; rows copied verbatim, so protocols observe the
+//    same incidence order. remove_edge/set_weight still work.
+//  * kImplicit  -- incidence computed on demand from (n, seed) by
+//    ImplicitCore (graph/implicit.h); O(n) resident state even for K_n at
+//    n = 10^6. Read-mostly: remove_edge materialises per-node overlays;
+//    add_edge/set_weight unsupported. Shared query caches make it the one
+//    backend with shard_parallel_safe() == false.
+//  * kMapped    -- read-only CSR payload mmap'd from a .kkg file
+//    (graph/store.h); no mutation at all.
+//
+// Removed edge slots stay allocated but are marked dead, so EdgeIdx values
+// held by callers remain stable; node count is fixed on every backend.
 #pragma once
 
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "graph/store.h"
 #include "graph/types.h"
 #include "util/rng.h"
 
 namespace kkt::graph {
 
-struct Edge {
-  NodeId u = kNoNode;
-  NodeId v = kNoNode;
-  Weight weight = 0;
-  bool alive = false;
-
-  NodeId other(NodeId x) const noexcept {
-    assert(x == u || x == v);
-    return x == u ? v : u;
-  }
-};
-
-// Entry of a node's adjacency list.
-struct Incidence {
-  NodeId peer;
-  EdgeIdx edge;
-};
-
-// Entry of the per-node augmented-weight-sorted incidence index. The edge
-// number is recoverable from the low bits of `aug`, so a range-filtered
-// walk touches only this contiguous array -- no per-edge loads from the
-// edge table or the external-ID table.
-struct SortedIncidence {
-  AugWeight aug;
-  EdgeIdx edge;
-  NodeId peer;
-};
+class ImplicitCore;
 
 class Graph {
  public:
+  enum class Backend { kAdjacency, kCsr, kImplicit, kMapped };
+
   // Creates a graph on n isolated nodes with distinct random external IDs
   // drawn from [1, 2^id_bits). id_bits == 0 selects the polynomial default
   // ~n^3 (the paper's ID space is {1, ..., n^c}; exponential identities are
@@ -61,12 +53,44 @@ class Graph {
   // in [1, kMaxExtId]).
   Graph(std::vector<ExtId> ext_ids);
 
+  // Wraps an implicit edge family (usually via make_implicit_graph).
+  explicit Graph(std::unique_ptr<ImplicitCore> core);
+
+  // Compacts a materialised graph (kAdjacency, kCsr or kMapped source) into
+  // a fresh CSR backend. Rows and edge indices are preserved verbatim, so
+  // protocols run bit-identically on the frozen copy.
+  static Graph freeze_csr(const Graph& src);
+
+  // Adopts an open, validated .kkg mapping as a read-only graph.
+  static Graph from_store(std::shared_ptr<const MappedStore> store);
+
+  Graph(Graph&&) noexcept;
+  Graph& operator=(Graph&&) noexcept;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+  ~Graph();
+
+  // Deep copy (kAdjacency / kCsr) or mapping share (kMapped). Implicit
+  // graphs are not clonable -- rebuild from the spec instead.
+  Graph clone() const;
+
+  Backend backend() const noexcept { return backend_; }
+
+  // Whether per-node reads may run concurrently from shard threads. False
+  // only for kImplicit, whose reusable row buffers are shared mutable state;
+  // the sharded executor degrades to its sequential path (counters are
+  // bit-identical either way, see sim/network.cc).
+  bool shard_parallel_safe() const noexcept {
+    return backend_ != Backend::kImplicit;
+  }
+
   // --- topology mutation -------------------------------------------------
   // Inserts edge {u, v} with the given weight. Returns its index.
-  // Precondition: u != v and no alive {u, v} edge exists.
+  // Precondition: u != v, no alive {u, v} edge exists, backend kAdjacency.
   EdgeIdx add_edge(NodeId u, NodeId v, Weight w);
 
-  // Deletes an edge. Its slot stays allocated but dead.
+  // Deletes an edge. Its slot stays allocated but dead. Supported on every
+  // backend except kMapped.
   void remove_edge(EdgeIdx e);
 
   // Capacity hint for bulk construction (generators): avoids repeated
@@ -74,25 +98,71 @@ class Graph {
   void reserve_edges(std::size_t m) { edges_.reserve(m); }
 
   // Changes the weight of an alive edge (augmented weight changes with it).
+  // kAdjacency / kCsr only.
   void set_weight(EdgeIdx e, Weight w);
 
   // --- accessors ----------------------------------------------------------
-  std::size_t node_count() const noexcept { return adjacency_.size(); }
+  std::size_t node_count() const noexcept { return n_; }
   std::size_t edge_count() const noexcept { return alive_edges_; }
-  std::size_t edge_slots() const noexcept { return edges_.size(); }
-
-  const Edge& edge(EdgeIdx e) const noexcept {
-    assert(e < edges_.size());
-    return edges_[e];
+  std::size_t edge_slots() const noexcept {
+    return (backend_ == Backend::kImplicit || backend_ == Backend::kMapped)
+               ? edge_slots_
+               : edges_.size();
   }
-  bool alive(EdgeIdx e) const noexcept { return edges_[e].alive; }
+
+  // By value: the mapped and implicit backends synthesise the record (there
+  // is no resident Edge array to reference into).
+  Edge edge(EdgeIdx e) const {
+    assert(e < edge_slots());
+    if (backend_ == Backend::kAdjacency || backend_ == Backend::kCsr) {
+      return edges_[e];
+    }
+    return edge_slow(e);
+  }
+  bool alive(EdgeIdx e) const {
+    assert(e < edge_slots());
+    switch (backend_) {
+      case Backend::kAdjacency:
+      case Backend::kCsr:
+        return edges_[e].alive;
+      case Backend::kMapped:
+        return true;  // immutable store: every packed edge is alive
+      case Backend::kImplicit:
+        break;
+    }
+    return implicit_alive(e);
+  }
 
   // Alive incident edges of v. The node's entire "local knowledge".
-  const std::vector<Incidence>& incident(NodeId v) const noexcept {
-    assert(v < adjacency_.size());
-    return adjacency_[v];
+  // Implicit rows are served from a small reusable buffer ring: the span
+  // stays valid across a handful of interleaved queries but not
+  // indefinitely (see graph/implicit.h for the lifetime contract).
+  std::span<const Incidence> incident(NodeId v) const {
+    assert(v < n_);
+    switch (backend_) {
+      case Backend::kAdjacency:
+        return adjacency_[v];
+      case Backend::kCsr:
+      case Backend::kMapped:
+        return csr_arena_.subspan(csr_offsets_[v], csr_row_len_[v]);
+      case Backend::kImplicit:
+        break;
+    }
+    return implicit_incident(v);
   }
-  std::size_t degree(NodeId v) const noexcept { return adjacency_[v].size(); }
+  std::size_t degree(NodeId v) const {
+    assert(v < n_);
+    switch (backend_) {
+      case Backend::kAdjacency:
+        return adjacency_[v].size();
+      case Backend::kCsr:
+      case Backend::kMapped:
+        return csr_row_len_[v];
+      case Backend::kImplicit:
+        break;
+    }
+    return implicit_degree(v);
+  }
 
   ExtId ext_id(NodeId v) const noexcept { return ext_ids_[v]; }
 
@@ -103,12 +173,15 @@ class Graph {
   // Internal node for an external ID, if any.
   std::optional<NodeId> node_of_ext(ExtId id) const;
 
-  EdgeNum edge_num(EdgeIdx e) const noexcept {
-    const Edge& ed = edges_[e];
+  EdgeNum edge_num(EdgeIdx e) const {
+    const Edge ed = edge(e);
     return make_edge_num(ext_ids_[ed.u], ext_ids_[ed.v], id_bits_);
   }
-  AugWeight aug_weight(EdgeIdx e) const noexcept {
-    return make_aug_weight(edges_[e].weight, edge_num(e), edge_num_bits());
+  AugWeight aug_weight(EdgeIdx e) const {
+    const Edge ed = edge(e);
+    return make_aug_weight(
+        ed.weight, make_edge_num(ext_ids_[ed.u], ext_ids_[ed.v], id_bits_),
+        edge_num_bits());
   }
   // Smallest augmented weight exceeding every edge of raw weight <= w.
   AugWeight aug_upper_bound(Weight w) const noexcept {
@@ -117,24 +190,29 @@ class Graph {
 
   // The alive edge {u, v}, if present.
   // Inline: the broadcast-and-echo layer resolves {self, from} to an edge
-  // on every echo, so the smaller-adjacency scan must not be a call.
+  // on every echo, so the adjacency-backend scan must not be a call.
   std::optional<EdgeIdx> find_edge(NodeId u, NodeId v) const {
     assert(u < node_count() && v < node_count());
-    const bool u_smaller = adjacency_[u].size() <= adjacency_[v].size();
-    const auto& adj = u_smaller ? adjacency_[u] : adjacency_[v];
-    const NodeId target = u_smaller ? v : u;
-    for (const Incidence& inc : adj) {
-      if (inc.peer == target) return inc.edge;
+    if (backend_ == Backend::kAdjacency) {
+      const bool u_smaller = adjacency_[u].size() <= adjacency_[v].size();
+      const auto& adj = u_smaller ? adjacency_[u] : adjacency_[v];
+      const NodeId target = u_smaller ? v : u;
+      for (const Incidence& inc : adj) {
+        if (inc.peer == target) return inc.edge;
+      }
+      return std::nullopt;
     }
-    return std::nullopt;
+    return find_edge_slow(u, v);
   }
 
   // Alive incident edges of v sorted by augmented weight, lazily rebuilt
-  // per node after a mutation touching v. The range-filtered walks of
+  // per node after a mutation touching v (implicit backend: computed, same
+  // buffer-ring lifetime as incident). The range-filtered walks of
   // TestOut / HP-TestOut / FindAny and the GHS probe setup read this index
   // instead of scanning (and re-deriving weights from) the adjacency list.
   std::span<const SortedIncidence> sorted_incident(NodeId v) const {
     assert(v < node_count());
+    if (backend_ == Backend::kImplicit) return implicit_sorted(v);
     if (sorted_stale_[v]) rebuild_sorted(v);
     return sorted_adj_[v];
   }
@@ -142,6 +220,9 @@ class Graph {
   // The window of sorted_incident(v) with aug weights in [lo, hi].
   std::span<const SortedIncidence> sorted_incident_range(
       NodeId v, AugWeight lo, AugWeight hi) const {
+    if (backend_ == Backend::kImplicit) {
+      return implicit_sorted_range(v, lo, hi);
+    }
     const std::span<const SortedIncidence> s = sorted_incident(v);
     const SortedIncidence* first =
         std::lower_bound(s.data(), s.data() + s.size(), lo,
@@ -157,14 +238,21 @@ class Graph {
   }
 
   // Largest raw weight / edge number over alive edges (0 if none).
-  Weight max_weight() const noexcept;
-  EdgeNum max_edge_num() const noexcept;
+  Weight max_weight() const;
+  EdgeNum max_edge_num() const;
 
-  // All alive edge indices (fresh vector; convenience for oracles/tests).
+  // All alive edge indices, ascending (fresh vector; oracles, tests, and
+  // pack_store). Implicit K_n at large n is deliberately unsupported here
+  // (the vector would be Theta(m)); callers asserting scale use the
+  // family's analytic structure instead.
   std::vector<EdgeIdx> alive_edge_indices() const;
 
  private:
+  struct Raw {};  // tag for the uninitialised factory ctor
+  explicit Graph(Raw);  // out-of-line: members need complete types
+
   void unlink_from_adjacency(NodeId v, EdgeIdx e);
+  void csr_unlink(NodeId v, EdgeIdx e);
   void rebuild_sorted(NodeId v) const;  // slow path of sorted_incident
   void touch_sorted(NodeId u, NodeId v) {
     sorted_stale_[u] = 1;
@@ -172,14 +260,49 @@ class Graph {
   }
   static int infer_id_bits(const std::vector<ExtId>& ids);
 
+  // Out-of-line backend paths (graph.cc); keeps ImplicitCore an incomplete
+  // type here.
+  Edge edge_slow(EdgeIdx e) const;
+  bool implicit_alive(EdgeIdx e) const;
+  std::span<const Incidence> implicit_incident(NodeId v) const;
+  std::size_t implicit_degree(NodeId v) const;
+  std::span<const SortedIncidence> implicit_sorted(NodeId v) const;
+  std::span<const SortedIncidence> implicit_sorted_range(NodeId v,
+                                                         AugWeight lo,
+                                                         AugWeight hi) const;
+  std::optional<EdgeIdx> find_edge_slow(NodeId u, NodeId v) const;
+
+  Backend backend_ = Backend::kAdjacency;
+  std::size_t n_ = 0;
+
+  // kAdjacency + kCsr: resident edge table (dead slots keep indices stable).
   std::vector<Edge> edges_;
+  // kAdjacency only.
   std::vector<std::vector<Incidence>> adjacency_;
+
+  // kCsr owns its arena; kMapped borrows the mmap'd one. Both read through
+  // the spans. Row lengths shrink on kCsr removal (swap-with-last in-row).
+  std::vector<std::uint64_t> csr_offsets_own_;
+  std::vector<Incidence> csr_arena_own_;
+  std::span<const std::uint64_t> csr_offsets_;
+  std::span<const Incidence> csr_arena_;
+  std::vector<std::uint32_t> csr_row_len_;
+
+  // kMapped: keeps the mapping alive; edge records served from the file.
+  std::shared_ptr<const MappedStore> store_;
+  std::span<const StoreEdge> mapped_edges_;
+
+  // kImplicit.
+  std::unique_ptr<ImplicitCore> implicit_;
+
   std::vector<ExtId> ext_ids_;
-  // Aug-sorted incidence index; stale entries rebuilt on demand.
+  // Aug-sorted incidence index; stale entries rebuilt on demand (all
+  // backends but kImplicit, which computes its own).
   mutable std::vector<std::vector<SortedIncidence>> sorted_adj_;
   mutable std::vector<char> sorted_stale_;
   int id_bits_ = kMaxIdBits;
   std::size_t alive_edges_ = 0;
+  std::size_t edge_slots_ = 0;  // kImplicit / kMapped (else edges_.size())
 };
 
 // Draws n distinct external IDs uniformly from [1, 2^id_bits); id_bits == 0

@@ -1,0 +1,102 @@
+// The .kkg on-disk graph store: a versioned binary header plus a CSR
+// payload, loaded with mmap so a multi-gigabyte graph costs page-cache
+// pages instead of heap. Packed by `pack_store` (and the kkt_graphstore
+// CLI); loaded read-only by `MappedStore::open` + `Graph::from_store`.
+//
+// Layout (all integers little-endian; all sections 8-byte aligned):
+//
+//   header (80 bytes)
+//     u32 magic      "KKTG" (0x4754'4b4b)
+//     u32 version    1
+//     u32 flags      0 (reserved)
+//     u32 id_bits    external-ID width, 1..31
+//     u64 n          node count (>= 1)
+//     u64 m          edge count (all alive; indices are dense in [0, m))
+//     u64 ext_off    -> ExtId[n]
+//     u64 off_off    -> u64[n + 1]      CSR row offsets, off[n] == 2m
+//     u64 arena_off  -> Incidence[2m]   {u32 peer, u32 pad=0, u64 edge}
+//     u64 edges_off  -> StoreEdge[m]    {u32 u, u32 v, u64 weight}
+//     u64 file_size  total byte size (self-check)
+//     u64 reserved   0
+//
+// Corruption policy: `open` validates the header, every section bound,
+// offset monotonicity, arena cross-references (each row entry must point
+// at an edge record containing the row's node and the entry's peer), edge
+// endpoints/weights, and external-ID range/distinctness -- any violation
+// returns null with a diagnostic, never undefined behaviour. Versioning:
+// unknown magic/version/flags are rejected; format changes bump `version`.
+// See docs/GRAPH_STORE.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "graph/types.h"
+
+namespace kkt::graph {
+
+class Graph;
+
+inline constexpr std::uint32_t kStoreMagic = 0x4754'4b4bu;  // "KKTG"
+inline constexpr std::uint32_t kStoreVersion = 1;
+inline constexpr std::size_t kStoreHeaderBytes = 80;
+
+// On-disk edge record. Mapped in place; Edge (with its alive flag) is
+// synthesized on access -- a mapped store is immutable, so every edge is
+// alive.
+struct StoreEdge {
+  NodeId u;
+  NodeId v;
+  Weight weight;
+};
+static_assert(sizeof(StoreEdge) == 16);
+static_assert(sizeof(Incidence) == 16 && alignof(Incidence) == 8);
+
+// An open, validated, read-only mapping of a .kkg file.
+class MappedStore {
+ public:
+  // Maps and fully validates `path`. Returns null (with a diagnostic in
+  // *error when non-null) on any I/O or validation failure.
+  static std::shared_ptr<const MappedStore> open(const std::string& path,
+                                                 std::string* error = nullptr);
+
+  ~MappedStore();
+  MappedStore(const MappedStore&) = delete;
+  MappedStore& operator=(const MappedStore&) = delete;
+
+  std::size_t node_count() const noexcept { return n_; }
+  std::size_t edge_count() const noexcept { return m_; }
+  int id_bits() const noexcept { return id_bits_; }
+  const std::string& path() const noexcept { return path_; }
+
+  std::span<const ExtId> ext_ids() const noexcept { return ext_; }
+  std::span<const std::uint64_t> offsets() const noexcept { return off_; }
+  std::span<const Incidence> arena() const noexcept { return arena_; }
+  std::span<const StoreEdge> edges() const noexcept { return edges_; }
+
+ private:
+  MappedStore() = default;
+
+  std::string path_;
+  void* map_ = nullptr;
+  std::size_t map_len_ = 0;
+  std::size_t n_ = 0;
+  std::size_t m_ = 0;
+  int id_bits_ = 0;
+  std::span<const ExtId> ext_;
+  std::span<const std::uint64_t> off_;
+  std::span<const Incidence> arena_;
+  std::span<const StoreEdge> edges_;
+};
+
+// Packs the alive edges of `g` (any backend) into `path`, reindexed densely
+// in ascending original index so a fresh graph round-trips with identical
+// edge indices. Adjacency row order is preserved verbatim -- protocols run
+// bit-identically on the mapped copy. Returns false with a diagnostic on
+// I/O failure. The graph must be enumerable (see alive_edge_indices).
+bool pack_store(const std::string& path, const Graph& g,
+                std::string* error = nullptr);
+
+}  // namespace kkt::graph

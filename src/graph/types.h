@@ -11,8 +11,14 @@
 //        aug = (weight << 62) | edge_number.
 //    FindMin searches over augmented weights, so the minimum is unique and
 //    identifies its edge.
+//
+// EdgeIdx is 64-bit: implicit edge families (graph/implicit.h) address the
+// edges of K_n at n = 10^6 by lexicographic rank, and n(n-1)/2 ~ 5*10^11
+// overflows 32 bits. Edge indices never cross the wire (messages carry edge
+// *numbers*), so only in-memory tables pay for the width.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 
@@ -21,7 +27,7 @@
 namespace kkt::graph {
 
 using NodeId = std::uint32_t;   // internal index in [0, n)
-using EdgeIdx = std::uint32_t;  // index into Graph::edges()
+using EdgeIdx = std::uint64_t;  // index into Graph::edges() / implicit rank
 using ExtId = std::uint32_t;    // external identity, in [1, 2^31)
 using Weight = std::uint64_t;   // raw weight in [1, u], u < 2^63
 using EdgeNum = std::uint64_t;  // < 2^62
@@ -67,5 +73,38 @@ constexpr EdgeNum aug_weight_edge_num(
     AugWeight aw, int en_bits = kMaxEdgeNumBits) noexcept {
   return static_cast<EdgeNum>(aw & ((AugWeight{1} << en_bits) - 1));
 }
+
+// --- shared storage-entry PODs ---------------------------------------------
+// These live here (not graph.h) so every backend -- per-node adjacency
+// vectors, the CSR arena, the mmap'd store, and the implicit families --
+// shares one entry layout and Graph can hand out spans over any of them.
+
+struct Edge {
+  NodeId u = kNoNode;
+  NodeId v = kNoNode;
+  Weight weight = 0;
+  bool alive = false;
+
+  NodeId other(NodeId x) const noexcept {
+    assert(x == u || x == v);
+    return x == u ? v : u;
+  }
+};
+
+// Entry of a node's adjacency list (or of one CSR arena row).
+struct Incidence {
+  NodeId peer;
+  EdgeIdx edge;
+};
+
+// Entry of the per-node augmented-weight-sorted incidence index. The edge
+// number is recoverable from the low bits of `aug`, so a range-filtered
+// walk touches only this contiguous array -- no per-edge loads from the
+// edge table or the external-ID table.
+struct SortedIncidence {
+  AugWeight aug;
+  EdgeIdx edge;
+  NodeId peer;
+};
 
 }  // namespace kkt::graph

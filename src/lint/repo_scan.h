@@ -27,13 +27,18 @@ namespace kkt::lint {
 // Barrett/hash inner loops -- all steady-state allocation-free, so they
 // ride the same rule. The sharded executor (PR 8) added sim/shard.h; hot
 // files also get the shard-unsafe-static rule, since these are exactly the
-// files whose code runs concurrently on shard workers.
-inline constexpr std::array<std::string_view, 12> kHotPathFiles = {
+// files whose code runs concurrently on shard workers. The backend facade
+// (graph.h) and the implicit families (implicit.h) joined with the
+// web-scale backends PR: every protocol incidence read crosses them, and
+// the implicit query paths must stay allocation-free in steady state (the
+// slot rings recycle their buffers; see graph/implicit.h).
+inline constexpr std::array<std::string_view, 14> kHotPathFiles = {
     "src/sim/inline_words.h", "src/sim/message.h", "src/sim/message.cc",
     "src/sim/network.h",      "src/sim/network.cc", "src/sim/shard.h",
     "src/proto/words.h",      "src/core/wire.h",   "src/proto/scratch.h",
     "src/util/modmath.h",     "src/hashing/odd_hash.h",
-    "src/hashing/pairwise_hash.h",
+    "src/hashing/pairwise_hash.h", "src/graph/graph.h",
+    "src/graph/implicit.h",
 };
 
 // Rule classes for a repo-relative path ('/'-separated); nullopt when the

@@ -27,6 +27,9 @@ std::string serialize_results(const ResultFile& f) {
     // serialize byte-identically to their v1 bodies.
     if (r.iters != 0) rec.set("iters", static_cast<double>(r.iters));
     if (r.wall_ns != 0) rec.set("wall_ns", static_cast<double>(r.wall_ns));
+    if (r.peak_rss_kb != 0) {
+      rec.set("peak_rss_kb", static_cast<double>(r.peak_rss_kb));
+    }
     records.push_back(std::move(rec));
   }
   JsonValue root{JsonValue::Object{}};
@@ -105,6 +108,12 @@ bool parse_unified(const JsonValue& root, ResultFile& out,
         return set_error(error, "record 'iters' is not a number");
       }
       r.iters = static_cast<std::uint64_t>(iters->as_number());
+    }
+    if (const JsonValue* rss = rec.find("peak_rss_kb")) {
+      if (!rss->is_number() || rss->as_number() < 0) {
+        return set_error(error, "record 'peak_rss_kb' is not a number");
+      }
+      r.peak_rss_kb = static_cast<std::uint64_t>(rss->as_number());
     }
     out.records.push_back(std::move(r));
   }

@@ -65,6 +65,12 @@ struct RunRecord {
   // serialized, keeping counter-only artifacts byte-stable across versions.
   std::uint64_t wall_ns = 0;
   std::uint64_t iters = 0;
+  // Peak resident set size (v2, optional; util::peak_rss_kb). Same contract
+  // as wall_ns: zero = not measured, not serialized, machine-dependent --
+  // a budget-gate observable, never an equality-checked counter. Producers
+  // opt in (kkt_report run --measure, kkt_lab --rss); canonical artifacts
+  // leave it off.
+  std::uint64_t peak_rss_kb = 0;
 
   double counter_or(std::string_view key, double dflt) const noexcept {
     const auto it = counters.find(std::string(key));

@@ -11,6 +11,7 @@
 #include "graph/forest.h"
 #include "proto/tree_ops.h"
 #include "report/fit.h"
+#include "util/rusage.h"
 
 namespace kkt::scenario {
 
@@ -218,8 +219,10 @@ HeadToHeadResult run_headtohead(const HeadToHeadConfig& cfg) {
     for (std::size_t i = 0; i < sizes.size(); ++i) {
       const std::size_t n = sizes[i];
       const Scenario sc = cell_scenario(cfg, n, spec.premark);
+      const std::uint64_t t0 = cfg.measure ? util::wall_now_ns() : 0;
       const std::vector<sim::Metrics> runs =
           run_sweep(sc, cfg.first_seed, cfg.seeds, spec.body, cfg.threads);
+      const std::uint64_t t1 = cfg.measure ? util::wall_now_ns() : 0;
 
       HeadToHeadCell cell;
       cell.task = spec.task;
@@ -240,6 +243,10 @@ HeadToHeadResult run_headtohead(const HeadToHeadConfig& cfg) {
       cell.bits /= denom;
       cell.rounds /= denom;
       cell.bcast_echoes /= denom;
+      if (cfg.measure && !runs.empty()) {
+        cell.wall_ns = (t1 - t0) / runs.size();
+        cell.peak_rss_kb = util::peak_rss_kb();
+      }
 
       xs.push_back(static_cast<double>(n));
       ys.push_back(cell.messages);
@@ -248,6 +255,68 @@ HeadToHeadResult run_headtohead(const HeadToHeadConfig& cfg) {
     if (const auto fit = report::fit_power_law(xs, ys)) {
       result.fits.push_back(HeadToHeadFit{spec.task, spec.algo, fit->exponent,
                                           fit->coeff, fit->r2, fit->points});
+    }
+  }
+
+  // The web-scale task: BuildMST only, implicit grid+long-links family,
+  // kkt vs ghs, one run per cell (rationale on HeadToHeadConfig::xl_sizes).
+  std::vector<std::size_t> xl_sizes;
+  for (const std::size_t n : cfg.xl_sizes) {
+    if (n >= 2) xl_sizes.push_back(n);
+  }
+  if (!xl_sizes.empty()) {
+    const auto xl_spec = [&cfg](std::size_t n) {
+      return GraphSpec::igridlong(n, cfg.xl_long_links);
+    };
+    std::vector<std::size_t> xl_m;
+    xl_m.reserve(xl_sizes.size());
+    for (const std::size_t n : xl_sizes) {
+      // edge_count on the implicit backend is O(1) resident arithmetic; no
+      // incidence is materialised here.
+      xl_m.push_back(build_graph(xl_spec(n), cfg.first_seed).edge_count());
+    }
+    const std::pair<const char*, ScenarioBody> xl_algos[] = {
+        {"kkt", [](World& w) { core::build_mst(w.network(), w.trees()); }},
+        {"ghs",
+         [](World& w) { baseline::ghs_build_mst(w.network(), w.trees()); }},
+    };
+    for (const auto& [algo, body] : xl_algos) {
+      const bool capped = std::string_view(algo) == "ghs";
+      std::vector<double> xs, ys;
+      for (std::size_t i = 0; i < xl_sizes.size(); ++i) {
+        const std::size_t n = xl_sizes[i];
+        if (capped && cfg.xl_ghs_cap != 0 && n > cfg.xl_ghs_cap) continue;
+        Scenario sc;
+        sc.graph = xl_spec(n);
+        sc.net.kind = cfg.net;
+        sc.seed = cfg.first_seed;
+        const std::uint64_t t0 = cfg.measure ? util::wall_now_ns() : 0;
+        const sim::Metrics run = run_scenario(sc, body);
+        const std::uint64_t t1 = cfg.measure ? util::wall_now_ns() : 0;
+
+        HeadToHeadCell cell;
+        cell.task = "build_mst_xl";
+        cell.algo = algo;
+        cell.n = n;
+        cell.m = xl_m[i];
+        cell.seeds = 1;
+        cell.messages = static_cast<double>(run.messages);
+        cell.bits = static_cast<double>(run.message_bits);
+        cell.rounds = static_cast<double>(run.rounds);
+        cell.bcast_echoes = static_cast<double>(run.broadcast_echoes);
+        if (cfg.measure) {
+          cell.wall_ns = t1 - t0;
+          cell.peak_rss_kb = util::peak_rss_kb();
+        }
+        xs.push_back(static_cast<double>(n));
+        ys.push_back(cell.messages);
+        result.cells.push_back(std::move(cell));
+      }
+      if (const auto fit = report::fit_power_law(xs, ys)) {
+        result.fits.push_back(HeadToHeadFit{"build_mst_xl", algo,
+                                            fit->exponent, fit->coeff, fit->r2,
+                                            fit->points});
+      }
     }
   }
   return result;
@@ -265,6 +334,11 @@ report::ResultFile HeadToHeadResult::to_result_file() const {
   meta.counters["first_seed"] = static_cast<double>(config.first_seed);
   meta.counters["seeds"] = static_cast<double>(config.seeds);
   meta.counters["ops"] = static_cast<double>(config.ops);
+  // XL provenance only when the task actually ran: the default artifact
+  // keeps its pre-XL bytes.
+  if (!config.xl_sizes.empty()) {
+    meta.counters["xl_long_links"] = static_cast<double>(config.xl_long_links);
+  }
   f.records.push_back(std::move(meta));
 
   for (const HeadToHeadCell& c : cells) {
@@ -278,6 +352,11 @@ report::ResultFile HeadToHeadResult::to_result_file() const {
     r.counters["bits"] = c.bits;
     r.counters["rounds"] = c.rounds;
     r.counters["bcast_echoes"] = c.bcast_echoes;
+    // v2 observables: zero (= not measured) serializes to nothing, so
+    // counter-only artifacts stay byte-stable.
+    r.wall_ns = c.wall_ns;
+    r.peak_rss_kb = c.peak_rss_kb;
+    if (c.wall_ns != 0) r.iters = static_cast<std::uint64_t>(c.seeds);
     f.records.push_back(std::move(r));
   }
   for (const HeadToHeadFit& fit : fits) {

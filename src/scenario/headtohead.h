@@ -54,6 +54,28 @@ struct HeadToHeadConfig {
   int ops = 8;
   // SweepExecutor threads for the per-cell seed sweeps (<= 0: hardware).
   int threads = 1;
+  // Web-scale extension of the BuildMST comparison: each entry runs as task
+  // "build_mst_xl" on the implicit grid+long-links family
+  // (GraphSpec::igridlong with xl_long_links, implicit backend -- O(n)
+  // resident state, so n = 10^6 fits a laptop) with the kkt and ghs
+  // competitors only. Flooding is Theta(m) by construction and the
+  // materialised families would defeat the point. One run per cell at
+  // first_seed: at these sizes a seed sweep multiplies hours of wall time
+  // without moving the fit. Empty (the default) disables the task, so the
+  // canonical artifact is byte-identical to the pre-XL grid.
+  std::vector<std::size_t> xl_sizes = {};
+  std::size_t xl_long_links = 2;
+  // GHS joins the XL series only at sizes <= xl_ghs_cap (0 = uncapped).
+  // Its message bill is fine (~n^1.14 on this family) but its simulated
+  // wall time grows ~n^2.4, so the top XL points would cost hours for a
+  // fit the smaller sizes already determine; kkt runs every size.
+  std::size_t xl_ghs_cap = 65536;
+  // Stamp the schema-v2 observables -- wall_ns (per run) and peak_rss_kb --
+  // onto every cell record. Off by default: they are machine noise, and
+  // canonical artifacts must stay byte-deterministic. Model-cost counters
+  // are unaffected either way (measurement brackets the run; it never
+  // feeds it).
+  bool measure = false;
 };
 
 // One (task, algorithm, n) grid cell: per-seed means of the model costs.
@@ -69,6 +91,13 @@ struct HeadToHeadCell {
   double bits = 0.0;
   double rounds = 0.0;
   double bcast_echoes = 0.0;
+  // Schema-v2 observables, stamped only under config.measure (zero
+  // otherwise -- and then omitted from the serialized record): mean wall
+  // time of one run in this cell, and the process peak RSS observed after
+  // the cell finished (an upper bound on the cell's footprint; see
+  // util/rusage.h).
+  std::uint64_t wall_ns = 0;
+  std::uint64_t peak_rss_kb = 0;
 };
 
 // Fitted power law of a (task, algorithm) message series over n.

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "graph/implicit.h"
 #include "graph/mst_oracle.h"
 #include "scenario/sweep.h"
 #include "util/rng.h"
@@ -22,6 +23,9 @@ const char* family_name(GraphFamily f) noexcept {
     case GraphFamily::kPreferential: return "pa";
     case GraphFamily::kRandomTree: return "tree";
     case GraphFamily::kHierarchical: return "hier";
+    case GraphFamily::kIComplete: return "icomplete";
+    case GraphFamily::kIGridLong: return "igridlong";
+    case GraphFamily::kIGeometric: return "igeo";
   }
   return "?";
 }
@@ -31,8 +35,34 @@ std::optional<GraphFamily> family_from_name(std::string_view name) noexcept {
        {GraphFamily::kGnm, GraphFamily::kGnp, GraphFamily::kComplete,
         GraphFamily::kRing, GraphFamily::kGrid, GraphFamily::kBarbell,
         GraphFamily::kGeometric, GraphFamily::kPreferential,
-        GraphFamily::kRandomTree, GraphFamily::kHierarchical}) {
+        GraphFamily::kRandomTree, GraphFamily::kHierarchical,
+        GraphFamily::kIComplete, GraphFamily::kIGridLong,
+        GraphFamily::kIGeometric}) {
     if (name == family_name(f)) return f;
+  }
+  return std::nullopt;
+}
+
+bool family_is_implicit(GraphFamily f) noexcept {
+  return f == GraphFamily::kIComplete || f == GraphFamily::kIGridLong ||
+         f == GraphFamily::kIGeometric;
+}
+
+const char* backend_name(GraphBackend b) noexcept {
+  switch (b) {
+    case GraphBackend::kAuto: return "auto";
+    case GraphBackend::kAdjacency: return "adjacency";
+    case GraphBackend::kCsr: return "csr";
+    case GraphBackend::kImplicit: return "implicit";
+  }
+  return "?";
+}
+
+std::optional<GraphBackend> backend_from_name(std::string_view name) noexcept {
+  for (const GraphBackend b :
+       {GraphBackend::kAuto, GraphBackend::kAdjacency, GraphBackend::kCsr,
+        GraphBackend::kImplicit}) {
+    if (name == backend_name(b)) return b;
   }
   return std::nullopt;
 }
@@ -54,8 +84,52 @@ std::optional<NetKind> net_kind_from_name(std::string_view name) noexcept {
   return std::nullopt;
 }
 
-graph::Graph build_graph(const GraphSpec& spec, std::uint64_t seed) {
-  util::Rng rng(seed);
+namespace {
+
+graph::ImplicitSpec implicit_spec_of(const GraphSpec& spec,
+                                     std::uint64_t seed) {
+  graph::ImplicitSpec is;
+  switch (spec.family) {
+    case GraphFamily::kIComplete:
+      is.family = graph::ImplicitFamily::kComplete;
+      break;
+    case GraphFamily::kIGridLong:
+      is.family = graph::ImplicitFamily::kGridLong;
+      is.long_links = spec.aux > 0 ? spec.aux : 2;
+      break;
+    case GraphFamily::kIGeometric:
+      is.family = graph::ImplicitFamily::kGeometric;
+      is.target_degree = spec.param > 0.0 ? spec.param : 8.0;
+      break;
+    default:
+      assert(false && "not an implicit family");
+  }
+  is.n = spec.n;
+  is.seed = seed;
+  is.max_weight = spec.weights.max_weight;
+  return is;
+}
+
+graph::Graph build_implicit(const GraphSpec& spec, std::uint64_t seed) {
+  const graph::ImplicitSpec is = implicit_spec_of(spec, seed);
+  const GraphBackend b = spec.backend == GraphBackend::kAuto
+                             ? GraphBackend::kImplicit
+                             : spec.backend;
+  switch (b) {
+    case GraphBackend::kImplicit:
+      return graph::make_implicit_graph(is);
+    case GraphBackend::kAdjacency:
+      return graph::materialize_implicit(is);
+    case GraphBackend::kCsr:
+      return graph::Graph::freeze_csr(graph::materialize_implicit(is));
+    case GraphBackend::kAuto:
+      break;
+  }
+  assert(false && "unknown backend");
+  return graph::make_implicit_graph(is);
+}
+
+graph::Graph build_classic(const GraphSpec& spec, util::Rng& rng) {
   switch (spec.family) {
     case GraphFamily::kGnm: {
       std::size_t m = spec.m;
@@ -84,9 +158,27 @@ graph::Graph build_graph(const GraphSpec& spec, std::uint64_t seed) {
       return graph::random_tree(spec.n, spec.weights, rng);
     case GraphFamily::kHierarchical:
       return graph::hierarchical_complete(static_cast<int>(spec.aux), rng);
+    case GraphFamily::kIComplete:
+    case GraphFamily::kIGridLong:
+    case GraphFamily::kIGeometric:
+      break;  // handled by build_implicit
   }
   assert(false && "unknown graph family");
   return graph::complete(1, spec.weights, rng);
+}
+
+}  // namespace
+
+graph::Graph build_graph(const GraphSpec& spec, std::uint64_t seed) {
+  if (family_is_implicit(spec.family)) return build_implicit(spec, seed);
+  assert(spec.backend != GraphBackend::kImplicit &&
+         "only the implicit families support the implicit backend");
+  util::Rng rng(seed);
+  graph::Graph g = build_classic(spec, rng);
+  if (spec.backend == GraphBackend::kCsr) {
+    return graph::Graph::freeze_csr(g);
+  }
+  return g;
 }
 
 std::unique_ptr<sim::Network> make_network(const graph::Graph& g,

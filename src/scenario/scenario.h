@@ -68,20 +68,43 @@ enum class GraphFamily {
   kPreferential,  // Barabasi-Albert                   (n, aux = attach k)
   kRandomTree,    // uniform random tree               (n)
   kHierarchical,  // GHS worst case, n = 2^aux         (aux = levels)
+  // Implicit families (graph/implicit.h): hash-defined topologies whose
+  // incidence is computable from (n, seed), so the implicit backend runs
+  // them at web scale with O(n) resident state. The same spec materialises
+  // exactly (backend adjacency/csr) for equivalence testing.
+  kIComplete,     // implicit K_n, latin-square weights (n)
+  kIGridLong,     // implicit grid + long links         (n ~ side^2, aux = links)
+  kIGeometric,    // implicit random geometric          (n, param = mean degree)
 };
 
 // Family name for descriptors/CLIs ("gnm", "complete", ...).
 const char* family_name(GraphFamily f) noexcept;
 std::optional<GraphFamily> family_from_name(std::string_view name) noexcept;
 
+// Whether the family is defined by an ImplicitSpec (and so supports the
+// implicit backend).
+bool family_is_implicit(GraphFamily f) noexcept;
+
+// Storage backend requested of build_graph. kAuto picks kImplicit for the
+// implicit families and kAdjacency otherwise. kCsr freezes the materialised
+// topology (graph::Graph::freeze_csr); kImplicit is only valid for implicit
+// families. The mmap'd store backend is not a GraphSpec concern -- load a
+// .kkg with graph::MappedStore + Graph::from_store and hand it to
+// make_world's custom-topology overload.
+enum class GraphBackend { kAuto, kAdjacency, kCsr, kImplicit };
+
+const char* backend_name(GraphBackend b) noexcept;
+std::optional<GraphBackend> backend_from_name(std::string_view name) noexcept;
+
 struct GraphSpec {
   GraphFamily family = GraphFamily::kGnm;
   std::size_t n = 64;
   std::size_t m = 0;      // kGnm: edge count
   std::size_t aux = 0;    // kGrid: cols; kBarbell: path; kPreferential: k;
-                          // kHierarchical: levels
-  double param = 0.0;     // kGnp: p; kGeometric: radius
+                          // kHierarchical: levels; kIGridLong: long links
+  double param = 0.0;     // kGnp: p; kGeometric: radius; kIGeometric: degree
   graph::WeightSpec weights{};
+  GraphBackend backend = GraphBackend::kAuto;
   // Clamp m into [n-1, n(n-1)/2] instead of asserting -- convenient for
   // sweeps that push tiny n.
   bool clamp_m = false;
@@ -107,6 +130,32 @@ struct GraphSpec {
     GraphSpec s;
     s.family = GraphFamily::kHierarchical;
     s.aux = static_cast<std::size_t>(levels);
+    return s;
+  }
+  static GraphSpec icomplete(std::size_t n,
+                             graph::Weight max_weight = 1u << 20) {
+    GraphSpec s;
+    s.family = GraphFamily::kIComplete;
+    s.n = n;
+    s.weights = {max_weight};
+    return s;
+  }
+  static GraphSpec igridlong(std::size_t n, std::size_t long_links = 2,
+                             graph::Weight max_weight = 1u << 20) {
+    GraphSpec s;
+    s.family = GraphFamily::kIGridLong;
+    s.n = n;
+    s.aux = long_links;
+    s.weights = {max_weight};
+    return s;
+  }
+  static GraphSpec igeo(std::size_t n, double target_degree = 8.0,
+                        graph::Weight max_weight = 1u << 20) {
+    GraphSpec s;
+    s.family = GraphFamily::kIGeometric;
+    s.n = n;
+    s.param = target_degree;
+    s.weights = {max_weight};
     return s;
   }
 };

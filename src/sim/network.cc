@@ -392,10 +392,13 @@ std::uint64_t Network::run(Protocol& proto,
   active_ = &proto;
   fast_path_ = round_batching_enabled_ && policy_->unit_delay();
   // Sharding rides the round-batched fast path only: the heap path has no
-  // round barriers to exchange at, and protocols may opt out (shard_safe).
-  // Everything else degrades to the sequential paths, which produce the
-  // same delivery order -- so the knob can never change results.
-  sharded_ = fast_path_ && shard_spec_.shards > 1 && proto.shard_safe();
+  // round barriers to exchange at, and protocols may opt out (shard_safe),
+  // as may the graph backend (implicit families serve rows from shared
+  // mutable buffers, see graph/implicit.h). Everything else degrades to the
+  // sequential paths, which produce the same delivery order -- so the knob
+  // can never change results.
+  sharded_ = fast_path_ && shard_spec_.shards > 1 && proto.shard_safe() &&
+             graph_->shard_parallel_safe();
   if (sharded_) {
     shard_map_.reset(shard_spec_,
                      static_cast<std::uint32_t>(graph_->node_count()));

@@ -1,0 +1,51 @@
+// Process-level measurement reads for the opt-in observables of result
+// schema v2 (report/schema.h: wall_ns, peak_rss_kb).
+//
+// These are the ONLY sanctioned sources of wall time and memory telemetry
+// in src/: both are machine noise, never model cost, so nothing on a
+// protocol or simulator path may call them. Producers that stamp them
+// (kkt_report run --measure, kkt_lab --rss) do so strictly outside the
+// simulated run -- read, execute, read, subtract -- which keeps every
+// model-cost counter byte-deterministic whether or not measurement is on.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if !defined(_WIN32)
+#include <sys/resource.h>
+#endif
+
+namespace kkt::util {
+
+// Peak resident set size of this process in KiB, or 0 when the platform
+// offers no getrusage. Linux reports ru_maxrss in KiB directly; macOS in
+// bytes. Monotone over the process lifetime: reading after a run bounds
+// that run's footprint from above (plus whatever ran earlier), which is
+// exactly the budget-gate semantic docs/GRAPH_STORE.md documents.
+inline std::uint64_t peak_rss_kb() noexcept {
+#if defined(_WIN32)
+  return 0;
+#else
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  const auto raw = static_cast<std::uint64_t>(ru.ru_maxrss);
+#if defined(__APPLE__)
+  return raw / 1024;
+#else
+  return raw;
+#endif
+#endif
+}
+
+// Monotonic wall-clock read, nanoseconds since an arbitrary epoch. Bracket
+// the measured region and subtract; never feed the value into anything a
+// counter depends on.
+inline std::uint64_t wall_now_ns() noexcept {
+  // kkt-lint: allow(rand-source): sole sanctioned clock for schema-v2 wall_ns
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+}  // namespace kkt::util

@@ -52,7 +52,7 @@ UpdateTrace generate_trace(const graph::Graph& start, const WorkloadSpec& spec,
   t.ops.reserve(static_cast<std::size_t>(spec.ops > 0 ? spec.ops : 0));
 
   util::Rng rng(seed);
-  graph::Graph model = start;  // evolves with the emitted ops
+  graph::Graph model = start.clone();  // evolves with the emitted ops
   const std::size_t n = model.node_count();
   if (n < 2) return t;
 

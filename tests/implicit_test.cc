@@ -1,0 +1,375 @@
+// Implicit-family neighbor oracles: every answer an ImplicitCore computes
+// (degrees, incidence rows, aug-sorted rows, range windows, edge decodes,
+// find_edge, removals) must match the same family materialised into the
+// adjacency backend edge by edge. materialize_implicit inserts edges in
+// lexicographic (min, max) order, so edge indices coincide with implicit
+// ranks and the comparison is exact, not just up to relabeling.
+//
+// The XL smokes construct icomplete at n = 10^6 (edge ranks ~5*10^11, far
+// beyond anything materialisable) and igridlong at n = 1048576, then probe
+// sampled nodes through the analytic paths -- degree, windows, decode
+// round-trips -- without ever enumerating an edge set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/forest.h"
+#include "graph/graph.h"
+#include "graph/implicit.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace kkt::graph {
+namespace {
+
+ImplicitSpec small_spec(ImplicitFamily fam, std::uint64_t seed,
+                        Weight maxw = 1u << 20) {
+  ImplicitSpec spec;
+  spec.family = fam;
+  spec.seed = seed;
+  spec.max_weight = maxw;
+  switch (fam) {
+    case ImplicitFamily::kComplete:
+      spec.n = 24;
+      break;
+    case ImplicitFamily::kGridLong:
+      spec.n = 36;
+      spec.long_links = 3;
+      break;
+    case ImplicitFamily::kGeometric:
+      spec.n = 40;
+      spec.target_degree = 6.0;
+      break;
+  }
+  return spec;
+}
+
+void expect_rows_match(const ImplicitCore& core, const Graph& mat,
+                       const char* what) {
+  ASSERT_EQ(core.node_count(), mat.node_count()) << what;
+  ASSERT_EQ(core.edge_slots(), mat.edge_slots()) << what;
+  const auto n = static_cast<NodeId>(core.node_count());
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_EQ(core.degree(v), mat.degree(v)) << what << " v=" << v;
+    const std::span<const Incidence> row = core.incident(v);
+    const std::span<const Incidence> mrow = mat.incident(v);
+    ASSERT_EQ(row.size(), mrow.size()) << what << " v=" << v;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      EXPECT_EQ(row[i].peer, mrow[i].peer) << what << " v=" << v << " i=" << i;
+      EXPECT_EQ(row[i].edge, mrow[i].edge) << what << " v=" << v << " i=" << i;
+    }
+  }
+}
+
+void expect_sorted_match(const ImplicitCore& core, const Graph& mat,
+                         const char* what) {
+  const auto n = static_cast<NodeId>(core.node_count());
+  for (NodeId v = 0; v < n; ++v) {
+    const std::span<const SortedIncidence> s = core.sorted_incident(v);
+    const std::span<const SortedIncidence> ms = mat.sorted_incident(v);
+    ASSERT_EQ(s.size(), ms.size()) << what << " v=" << v;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      EXPECT_EQ(s[i].aug, ms[i].aug) << what << " v=" << v << " i=" << i;
+      EXPECT_EQ(s[i].edge, ms[i].edge) << what << " v=" << v << " i=" << i;
+      EXPECT_EQ(s[i].peer, ms[i].peer) << what << " v=" << v << " i=" << i;
+    }
+  }
+}
+
+class FamilyOracle
+    : public ::testing::TestWithParam<std::tuple<ImplicitFamily,
+                                                 std::uint64_t>> {};
+
+TEST_P(FamilyOracle, RowsAndSortedRowsMatchMaterialized) {
+  const auto [fam, seed] = GetParam();
+  const ImplicitSpec spec = small_spec(fam, seed);
+  const ImplicitCore core(spec);
+  const Graph mat = materialize_implicit(spec);
+  for (NodeId v = 0; v < core.node_count(); ++v) {
+    EXPECT_EQ(core.ext_ids()[v], mat.ext_id(v));
+  }
+  EXPECT_EQ(core.id_bits(), mat.id_bits());
+  expect_rows_match(core, mat, implicit_family_name(fam));
+  expect_sorted_match(core, mat, implicit_family_name(fam));
+}
+
+TEST_P(FamilyOracle, EdgeDecodeAndFindEdgeMatch) {
+  const auto [fam, seed] = GetParam();
+  const ImplicitSpec spec = small_spec(fam, seed);
+  const ImplicitCore core(spec);
+  const Graph mat = materialize_implicit(spec);
+  for (EdgeIdx e = 0; e < core.edge_slots(); ++e) {
+    const Edge ce = core.edge(e);
+    const Edge me = mat.edge(e);
+    EXPECT_EQ(std::min(ce.u, ce.v), std::min(me.u, me.v)) << "e=" << e;
+    EXPECT_EQ(std::max(ce.u, ce.v), std::max(me.u, me.v)) << "e=" << e;
+    EXPECT_EQ(ce.weight, me.weight) << "e=" << e;
+    EXPECT_TRUE(ce.alive) << "e=" << e;
+    EXPECT_EQ(core.rank_of(ce.u, ce.v), e);
+  }
+  const auto n = static_cast<NodeId>(core.node_count());
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(core.find_edge(u, v), mat.find_edge(u, v))
+          << "u=" << u << " v=" << v;
+    }
+  }
+  EXPECT_EQ(core.max_weight(), mat.max_weight());
+  EXPECT_EQ(core.max_edge_num(), mat.max_edge_num());
+  EXPECT_EQ(core.alive_edge_indices(), mat.alive_edge_indices());
+}
+
+TEST_P(FamilyOracle, RangeWindowsMatchMaterialized) {
+  const auto [fam, seed] = GetParam();
+  // A small weight range forces ties, wrap-around segments and partial
+  // boundary weight classes through the analytic complete window.
+  const ImplicitSpec spec = small_spec(fam, seed, /*maxw=*/7);
+  const ImplicitCore core(spec);
+  const Graph mat = materialize_implicit(spec);
+  const int en_bits = 2 * core.id_bits();
+  const auto n = static_cast<NodeId>(core.node_count());
+  for (NodeId v = 0; v < n; ++v) {
+    const std::span<const SortedIncidence> full = mat.sorted_incident(v);
+    // Windows: full range, each single weight class, straddling ranges,
+    // empty range, and exact aug endpoints.
+    std::vector<std::pair<AugWeight, AugWeight>> windows = {
+        {0, ~AugWeight{0}},
+        {make_aug_weight(3, 0, en_bits), make_aug_weight(5, 0, en_bits)},
+        {make_aug_weight(9, 0, en_bits), make_aug_weight(12, 0, en_bits)},
+    };
+    for (Weight w = 1; w <= 7; ++w) {
+      windows.emplace_back(make_aug_weight(w, 0, en_bits),
+                           make_aug_weight(w + 1, 0, en_bits) - 1);
+    }
+    if (!full.empty()) {
+      windows.emplace_back(full.front().aug, full.back().aug);
+      windows.emplace_back(full.front().aug + 1, full.back().aug - 1);
+      const std::size_t mid = full.size() / 2;
+      windows.emplace_back(full[mid].aug, full[mid].aug);
+    }
+    for (const auto& [lo, hi] : windows) {
+      const std::span<const SortedIncidence> got =
+          core.sorted_incident_range(v, lo, hi);
+      const std::span<const SortedIncidence> want =
+          mat.sorted_incident_range(v, lo, hi);
+      ASSERT_EQ(got.size(), want.size()) << "v=" << v;
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].aug, want[i].aug) << "v=" << v << " i=" << i;
+        EXPECT_EQ(got[i].edge, want[i].edge) << "v=" << v << " i=" << i;
+        EXPECT_EQ(got[i].peer, want[i].peer) << "v=" << v << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(FamilyOracle, RemovalsTrackTheMaterializedBackend) {
+  const auto [fam, seed] = GetParam();
+  const ImplicitSpec spec = small_spec(fam, seed);
+  Graph imp = make_implicit_graph(spec);
+  Graph mat = materialize_implicit(spec);
+  util::Rng rng(seed * 977 + 5);
+  for (int round = 0; round < 6; ++round) {
+    const auto alive = mat.alive_edge_indices();
+    ASSERT_FALSE(alive.empty());
+    const EdgeIdx e = alive[rng.below(alive.size())];
+    imp.remove_edge(e);
+    mat.remove_edge(e);
+    EXPECT_FALSE(imp.alive(e));
+    EXPECT_EQ(imp.edge_count(), mat.edge_count());
+    const auto n = static_cast<NodeId>(mat.node_count());
+    for (NodeId v = 0; v < n; ++v) {
+      ASSERT_EQ(imp.degree(v), mat.degree(v)) << "v=" << v;
+      const std::span<const Incidence> row = imp.incident(v);
+      const std::span<const Incidence> mrow = mat.incident(v);
+      ASSERT_EQ(row.size(), mrow.size()) << "v=" << v;
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        EXPECT_EQ(row[i].peer, mrow[i].peer) << "v=" << v << " i=" << i;
+        EXPECT_EQ(row[i].edge, mrow[i].edge) << "v=" << v << " i=" << i;
+      }
+      const std::span<const SortedIncidence> s = imp.sorted_incident(v);
+      const std::span<const SortedIncidence> ms = mat.sorted_incident(v);
+      ASSERT_EQ(s.size(), ms.size()) << "v=" << v;
+      for (std::size_t i = 0; i < s.size(); ++i) {
+        EXPECT_EQ(s[i].aug, ms[i].aug) << "v=" << v << " i=" << i;
+        EXPECT_EQ(s[i].edge, ms[i].edge) << "v=" << v << " i=" << i;
+      }
+    }
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        EXPECT_EQ(imp.find_edge(u, v), mat.find_edge(u, v))
+            << "u=" << u << " v=" << v;
+      }
+    }
+    EXPECT_EQ(imp.alive_edge_indices(), mat.alive_edge_indices());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, FamilyOracle,
+    ::testing::Combine(::testing::Values(ImplicitFamily::kComplete,
+                                         ImplicitFamily::kGridLong,
+                                         ImplicitFamily::kGeometric),
+                       ::testing::Values(1u, 7u, 1234u)));
+
+// Grid size clamps to the largest square; the clamp must be visible in the
+// spec the core reports.
+TEST(Implicit, GridClampsToSquare) {
+  ImplicitSpec spec;
+  spec.family = ImplicitFamily::kGridLong;
+  spec.n = 40;  // not a square
+  spec.seed = 3;
+  const ImplicitCore core(spec);
+  EXPECT_EQ(core.node_count(), 36u);
+  EXPECT_EQ(core.spec().n, 36u);
+}
+
+// --- XL smokes: O(n) state, never materialise -------------------------------
+
+TEST(ImplicitXL, CompleteMillionNodesAnalyticProbes) {
+  ImplicitSpec spec;
+  spec.family = ImplicitFamily::kComplete;
+  spec.n = 1'000'000;
+  spec.seed = 42;
+  const ImplicitCore core(spec);
+  const auto n = static_cast<NodeId>(spec.n);
+  EXPECT_EQ(core.edge_slots(),
+            EdgeIdx{spec.n} * (spec.n - 1) / 2);  // ~5 * 10^11 ranks
+  const int en_bits = 2 * core.id_bits();
+  for (const NodeId v : {NodeId{0}, NodeId{1}, NodeId{12345},
+                         NodeId{999'999}}) {
+    EXPECT_EQ(core.degree(v), spec.n - 1);
+    // A one-weight-class window is answerable in O(log n + |out|); every
+    // returned entry must decode back to (v, peer) with the right weight.
+    const AugWeight lo = make_aug_weight(100, 0, en_bits);
+    const AugWeight hi = make_aug_weight(101, 0, en_bits) - 1;
+    const std::span<const SortedIncidence> win =
+        core.sorted_incident_range(v, lo, hi);
+    for (const SortedIncidence& si : win) {
+      EXPECT_GE(si.aug, lo);
+      EXPECT_LE(si.aug, hi);
+      EXPECT_EQ(core.weight_of(v, si.peer), 100u);
+      EXPECT_EQ(core.rank_of(v, si.peer), si.edge);
+      const Edge ed = core.edge(si.edge);
+      EXPECT_EQ(std::min(ed.u, ed.v), std::min(v, si.peer));
+      EXPECT_EQ(std::max(ed.u, ed.v), std::max(v, si.peer));
+    }
+    // Decode round-trips on sampled ranks incident to v.
+    const NodeId peer = v == 0 ? n - 1 : v - 1;
+    const EdgeIdx e = core.rank_of(v, peer);
+    const Edge ed = core.edge(e);
+    EXPECT_EQ(std::min(ed.u, ed.v), std::min(v, peer));
+    EXPECT_EQ(std::max(ed.u, ed.v), std::max(v, peer));
+    EXPECT_EQ(core.find_edge(v, peer), std::optional<EdgeIdx>{e});
+  }
+  // Distinct external IDs on a sample (full distinctness is by bijection).
+  util::Rng rng(7);
+  std::vector<ExtId> sample;
+  for (int i = 0; i < 1000; ++i) {
+    sample.push_back(core.ext_ids()[rng.below(spec.n)]);
+  }
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(std::adjacent_find(sample.begin(), sample.end()), sample.end());
+}
+
+TEST(ImplicitXL, GridLongMillionNodesRowProbes) {
+  ImplicitSpec spec;
+  spec.family = ImplicitFamily::kGridLong;
+  spec.n = 1'048'576;  // 1024 x 1024
+  spec.seed = 9;
+  spec.long_links = 2;
+  const ImplicitCore core(spec);
+  EXPECT_EQ(core.node_count(), 1'048'576u);
+  EXPECT_GE(core.edge_slots(), EdgeIdx{2} * 1024 * 1023);  // grid edges alone
+  util::Rng rng(11);
+  for (int i = 0; i < 32; ++i) {
+    const auto v = static_cast<NodeId>(rng.below(core.node_count()));
+    const std::span<const Incidence> row = core.incident(v);
+    ASSERT_GE(row.size(), 2u);   // at least the grid corner degree
+    ASSERT_LE(row.size(), 4u + 2 * 2 * 64u);
+    for (const Incidence& inc : row) {
+      EXPECT_EQ(core.find_edge(v, inc.peer), std::optional<EdgeIdx>{inc.edge});
+      const Edge ed = core.edge(inc.edge);
+      EXPECT_TRUE((ed.u == v && ed.v == inc.peer) ||
+                  (ed.v == v && ed.u == inc.peer));
+    }
+    // Sorted row is the same edge set in strictly ascending aug order.
+    const std::span<const SortedIncidence> s = core.sorted_incident(v);
+    ASSERT_EQ(s.size(), row.size());
+    for (std::size_t j = 1; j < s.size(); ++j) {
+      EXPECT_LT(s[j - 1].aug, s[j].aug);
+    }
+  }
+}
+
+// --- MarkedForest sparse mode ------------------------------------------------
+
+// Forcing the dense-slot limit to zero flips the forest to the sparse map;
+// every audit and marking flow must behave exactly like the dense arrays.
+TEST(ForestSparse, SparseMarksMatchDense) {
+  util::Rng rng(5);
+  const Graph g = random_connected_gnm(40, 160, {1u << 12}, rng);
+  MarkedForest dense(g);
+  MarkedForest sparse(g, /*dense_slot_limit=*/0);
+  EXPECT_FALSE(dense.sparse());
+  EXPECT_TRUE(sparse.sparse());
+  util::Rng pick(17);
+  for (int i = 0; i < 200; ++i) {
+    const auto e = static_cast<EdgeIdx>(pick.below(g.edge_slots()));
+    const Edge ed = g.edge(e);
+    const std::uint32_t epoch = static_cast<std::uint32_t>(pick.below(5));
+    switch (pick.below(4)) {
+      case 0:
+        dense.mark_half(e, ed.u, epoch);
+        sparse.mark_half(e, ed.u, epoch);
+        break;
+      case 1:
+        dense.mark_edge(e, epoch);
+        sparse.mark_edge(e, epoch);
+        break;
+      case 2:
+        dense.unmark_half(e, ed.v);
+        sparse.unmark_half(e, ed.v);
+        break;
+      default:
+        dense.clear_edge(e);
+        sparse.clear_edge(e);
+        break;
+    }
+    EXPECT_EQ(dense.is_marked(e), sparse.is_marked(e)) << "i=" << i;
+    EXPECT_EQ(dense.half_marked(e, ed.u), sparse.half_marked(e, ed.u));
+    EXPECT_EQ(dense.half_marked(e, ed.v), sparse.half_marked(e, ed.v));
+    EXPECT_EQ(dense.mark_epoch(e), sparse.mark_epoch(e));
+    EXPECT_EQ(dense.is_marked_at(e, 2), sparse.is_marked_at(e, 2));
+  }
+  EXPECT_EQ(dense.properly_marked(), sparse.properly_marked());
+  EXPECT_EQ(dense.marked_edges(), sparse.marked_edges());
+  EXPECT_EQ(dense.max_mark_epoch(), sparse.max_mark_epoch());
+  dense.clear_all();
+  sparse.clear_all();
+  EXPECT_EQ(dense.marked_edges(), sparse.marked_edges());
+  EXPECT_TRUE(sparse.marked_edges().empty());
+}
+
+// An implicit K_n at web scale must construct a forest without touching
+// Theta(m) memory: the constructor picks sparse mode from edge_slots().
+TEST(ForestSparse, WebScaleImplicitForestIsSparse) {
+  ImplicitSpec spec;
+  spec.family = ImplicitFamily::kComplete;
+  spec.n = 1'000'000;
+  spec.seed = 1;
+  const Graph g = make_implicit_graph(spec);
+  MarkedForest forest(g);  // dense would be ~5 TB of marks
+  EXPECT_TRUE(forest.sparse());
+  const EdgeIdx e = *g.find_edge(3, 77);
+  forest.mark_edge(e, 2);
+  EXPECT_TRUE(forest.is_marked(e));
+  EXPECT_EQ(forest.mark_epoch(e), 2u);
+  EXPECT_EQ(forest.marked_edges(), std::vector<EdgeIdx>{e});
+  EXPECT_TRUE(forest.properly_marked());
+  forest.clear_edge(e);
+  EXPECT_FALSE(forest.is_marked(e));
+}
+
+}  // namespace
+}  // namespace kkt::graph

@@ -3,10 +3,17 @@
 //   kkt_report run   [--out FILE] [--sizes 64,128,256,512] [--seeds K]
 //                    [--first-seed S] [--ops K] [--threads T]
 //                    [--net sync|async|adversarial] [--gnm DENSITY]
+//                    [--xl-sizes 65536,262144,1048576] [--xl-links K]
+//                    [--xl-ghs-cap N] [--measure]
 //       Runs the KKT-vs-baseline head-to-head grid
 //       (scenario::run_headtohead) and writes the unified artifact
 //       (default BENCH_headtohead.json). Deterministic: the same flags
-//       produce a byte-identical artifact on every run.
+//       produce a byte-identical artifact on every run. --xl-sizes adds
+//       the web-scale build_mst_xl task (implicit grid+long-links family,
+//       kkt vs ghs, one run per cell); --measure additionally stamps the
+//       schema-v2 wall_ns / peak_rss_kb observables onto every cell, which
+//       trades the byte-determinism of the artifact for telemetry -- keep
+//       it off for committed artifacts (docs/RESULT_SCHEMA.md).
 //
 //   kkt_report gen   [--in FILE] [--docs DIR] [--experiments FILE]
 //       Renders the artifact into DIR/headtohead.md (default
@@ -45,6 +52,7 @@
 #include "report/render.h"
 #include "report/schema.h"
 #include "scenario/headtohead.h"
+#include "util/rusage.h"
 
 namespace {
 
@@ -133,6 +141,12 @@ kkt::scenario::HeadToHeadConfig config_from(const Args& a) {
   cfg.seeds = static_cast<int>(a.num("seeds", cfg.seeds));
   cfg.ops = static_cast<int>(a.num("ops", cfg.ops));
   cfg.threads = static_cast<int>(a.num("threads", cfg.threads));
+  if (a.has("xl-sizes")) cfg.xl_sizes = parse_sizes(a.get("xl-sizes", ""));
+  cfg.xl_long_links =
+      static_cast<std::size_t>(a.num("xl-links", cfg.xl_long_links));
+  cfg.xl_ghs_cap =
+      static_cast<std::size_t>(a.num("xl-ghs-cap", cfg.xl_ghs_cap));
+  cfg.measure = a.has("measure");
   return cfg;
 }
 
@@ -162,6 +176,10 @@ int cmd_run(const Args& a) {
   for (const auto& fit : result.fits) {
     std::printf("  %-14s %-6s messages ~ n^%.3f  (r2 %.3f)\n",
                 fit.task.c_str(), fit.algo.c_str(), fit.exponent, fit.r2);
+  }
+  if (cfg.measure) {
+    std::printf("peak_rss_kb=%llu\n",
+                static_cast<unsigned long long>(kkt::util::peak_rss_kb()));
   }
   return 0;
 }
