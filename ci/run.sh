@@ -27,6 +27,15 @@
 #                       # n = 1048576 on the implicit backend -- fails when
 #                       # peak RSS exceeds the documented 2 GiB budget;
 #                       # archives BENCH_bigraph.json + the .kkg store
+#   ci/run.sh faults    # fault-injection gate (docs/FAULTS.md): the
+#                       # fault-labelled suite (loss, link outages, batch
+#                       # deletions, regional outages, partition-and-heal;
+#                       # bit-identical metrics across reruns and shard
+#                       # counts, oracle-clean heals) under the strict dev
+#                       # preset and again under ThreadSanitizer, then the
+#                       # full fault matrix through kkt_lab at the canonical
+#                       # seed; archives BENCH_faultmodel.json (counter-only
+#                       # records -- byte-deterministic at a fixed seed)
 #   ci/run.sh perf      # release build + wall-clock bench passes
 #                       # (KKT_BENCH_WALL median-of-k); gates on
 #                       # bench/baselines/ via `kkt_report perf` -- counter
@@ -150,6 +159,32 @@ run_lint() {
   echo "==> archived LINT_findings.json"
 }
 
+# Faults stage: the fault-injection gate (docs/FAULTS.md). The labelled
+# suite pins the deterministic fault matrix -- every model x transport x
+# seed with bit-identical metrics across reruns and shard counts, plus the
+# loss-degrade and link-overlay semantics -- under the strict dev build and
+# under ThreadSanitizer (the sharded replays race if the lane merge is
+# wrong). The kkt_lab run then replays all three fault models through
+# MaintenanceSession::apply_batch and archives the counter-only artifact.
+run_faults() {
+  echo "==> configure/build [dev]"
+  cmake --preset dev
+  cmake --build --preset dev -j "$jobs"
+  echo "==> fault-labelled tests [dev]"
+  ctest --test-dir build/dev -L fault --output-on-failure -j "$jobs"
+  echo "==> configure/build [tsan]"
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  echo "==> fault-labelled tests [tsan]"
+  ctest --test-dir build/tsan -L fault --output-on-failure -j "$jobs"
+  build_release
+  echo "==> fault matrix through kkt_lab (canonical seed)"
+  ./build/release/examples/kkt_lab churn --family gnm --n 64 --m 192 \
+    --faults batch,regional,partition --events 4 --seed 2015 --net sync \
+    --out BENCH_faultmodel.json
+  echo "==> archived BENCH_faultmodel.json"
+}
+
 # Bigraph stage: the web-scale backend gate (docs/GRAPH_STORE.md). The
 # backend-labelled suite pins cross-backend metric bit-identity, the
 # implicit family oracles and the store corruption matrix; the CLI chain
@@ -196,8 +231,9 @@ case "$stage" in
   lint)    run_lint ;;
   perf)    run_perf ;;
   bigraph) run_bigraph ;;
+  faults)  run_faults ;;
   all)     run_preset dev; run_preset asan; run_preset tsan; run_lint ;;
-  *)       echo "usage: $0 [dev|asan|tsan|bench|report|lint|perf|bigraph|all]" >&2; exit 2 ;;
+  *)       echo "usage: $0 [dev|asan|tsan|bench|report|lint|perf|bigraph|faults|all]" >&2; exit 2 ;;
 esac
 
 echo "==> OK [$stage]"

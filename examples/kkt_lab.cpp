@@ -17,6 +17,10 @@
 //                 [--net sync|async|adversarial] [--shards S]
 //                 [--sweep N] [--threads T]
 //                 [--trace FILE] [--record FILE] [--csv]
+//   kkt_lab churn --faults batch|regional|partition[,MODEL...]
+//                 [--events E] [--batch-k K] [--churn-ops C]
+//                 [--family ...] [--kind mst|st] [--seed S] [--net ...]
+//                 [--record FILE] [--out FILE] [--csv]
 //   kkt_lab report [--sizes 64,128,256] [--seeds K] [--ops K] [--seed S]
 //                 [--gnm DENSITY] [--net ...] [--threads T] [--out FILE]
 //                 [--csv]
@@ -43,6 +47,16 @@
 // (kkt_graphstore pack) instead of generating; `--rss-budget-mb MB` prints
 // the process peak RSS after the run and fails the exit code when it
 // exceeds the budget -- the CI bigraph stage's memory gate.
+// `--loss P` (adversarial networks only) drops each delivery independently
+// with probability P -- seeded, reproducible, and counted in the
+// dropped_deliveries metric; protocols that declare loss_safe()==false get
+// the loss degraded to delay (docs/FAULTS.md). `churn --faults MODEL` swaps
+// the workload generator for the fault generator (src/workload/faults.h):
+// a seeded stream of batch deletions, regional BFS-ball outages, or
+// partition-and-heal events runs through MaintenanceSession::apply_batch
+// with per-event oracle checks; `--record` writes the fault trace
+// (docs/TRACE_FORMAT.md F records) and `--out` writes the
+// BENCH_faultmodel.json artifact the CI faults stage archives.
 // `report` runs the KKT-vs-baseline head-to-head grid
 // (scenario::run_headtohead) and prints per-size message bills plus the
 // fitted scaling exponent of every (task, algorithm) series; `--out`
@@ -71,6 +85,7 @@
 #include "scenario/scenario.h"
 #include "util/rusage.h"
 #include "workload/churn.h"
+#include "workload/faults.h"
 #include "workload/trace.h"
 
 namespace {
@@ -179,6 +194,23 @@ kkt::scenario::NetSpec make_net_spec(const Args& a,
   // simulation (sync networks; other kinds degrade to sequential).
   // Counters are bit-identical at any N -- only wall time moves.
   spec.shards.shards = int(a.num("shards", 1));
+  // --loss P: seeded per-delivery message loss. Loss is a property of the
+  // adversarial schedule, so it requires --net adversarial; the probability
+  // is quantized to /4096 so the drawn stream is exactly reproducible.
+  if (a.has("loss")) {
+    if (spec.kind != kkt::scenario::NetKind::kAdversarial) {
+      std::fprintf(stderr, "error: --loss requires --net adversarial\n");
+      std::exit(2);
+    }
+    const double p = std::strtod(a.get("loss", "0").c_str(), nullptr);
+    if (!(p >= 0.0) || p > 1.0) {
+      std::fprintf(stderr, "error: --loss wants a probability in [0, 1]\n");
+      std::exit(2);
+    }
+    spec.adversarial_cfg.loss_den = 4096;
+    spec.adversarial_cfg.loss_num =
+        static_cast<std::uint64_t>(p * 4096.0 + 0.5);
+  }
   return spec;
 }
 
@@ -379,6 +411,170 @@ int cmd_repair(const Args& a) {
   return bad == 0 ? 0 : 1;
 }
 
+// churn --faults MODEL: replace the workload generator with the fault
+// generator and run the typed event stream (batch deletions, regional
+// outages, partition-and-heal) through MaintenanceSession::apply_batch.
+int run_fault_model(const Args& a, const kkt::scenario::Scenario& sc,
+                    kkt::workload::FaultModel model,
+                    kkt::report::ResultFile* artifact) {
+  const bool csv = a.has("csv");
+  kkt::workload::FaultSpec spec;
+  spec.model = model;
+  spec.events = static_cast<int>(a.num("events", 4));
+  spec.batch_k = static_cast<int>(a.num("batch-k", 4));
+  spec.churn_ops = static_cast<int>(a.num("churn-ops", 4));
+
+  kkt::scenario::World w = kkt::scenario::make_world(sc);
+  w.mark_msf();
+  const kkt::workload::FaultTrace trace = kkt::workload::generate_faults(
+      *w.g, spec, kkt::util::mix_seeds(sc.seed, kkt::workload::kFaultSeedSalt));
+  if (a.has("record")) {
+    const std::string out = a.get("record", "");
+    if (!kkt::workload::write_fault_trace_file(out, trace)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "recorded %zu-event fault trace to %s "
+                 "(digest %016" PRIx64 ")\n",
+                 trace.events.size(), out.c_str(),
+                 kkt::workload::fault_trace_digest(trace));
+  }
+
+  kkt::core::SessionOptions opts;
+  opts.check_oracle = true;
+  kkt::core::MaintenanceSession session(
+      *w.g, *w.forest, *w.net,
+      a.get("kind", "mst") == "mst" ? kkt::core::ForestKind::kMst
+                                    : kkt::core::ForestKind::kSt,
+      opts);
+
+  std::vector<kkt::workload::FaultRecord> records;
+  records.reserve(trace.events.size());
+  for (const kkt::workload::FaultEvent& ev : trace.events) {
+    records.push_back(kkt::workload::apply_fault(session, ev));
+  }
+
+  std::size_t oracle_bad = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const kkt::workload::FaultRecord& rec = records[i];
+    if (!rec.oracle_ok) ++oracle_bad;
+    if (csv) {
+      std::printf("event%zu,%s,%zu,%zu,%zu,%zu,%zu,%" PRIu64 ",%" PRIu64
+                  ",%d\n",
+                  i, kkt::workload::fault_kind_name(rec.kind), rec.applied,
+                  rec.tree_edges_removed, rec.phases, rec.components_before,
+                  rec.components_after, rec.cost.messages, rec.cost.rounds,
+                  rec.oracle_ok ? 1 : 0);
+    } else {
+      std::printf("event %-2zu %-8s applied=%zu/%zu tree-cut=%zu phases=%zu "
+                  "components %zu->%zu cost=%" PRIu64 " msgs/%" PRIu64
+                  " rounds oracle=%s\n",
+                  i, kkt::workload::fault_kind_name(rec.kind), rec.applied,
+                  rec.requested, rec.tree_edges_removed, rec.phases,
+                  rec.components_before, rec.components_after,
+                  rec.cost.messages, rec.cost.rounds,
+                  rec.oracle_ok ? "ok" : "MISMATCH");
+    }
+  }
+  if (!csv) {
+    std::printf("%s faults: %zu events (trace digest %016" PRIx64 ")\n",
+                trace.name.c_str(), trace.events.size(),
+                kkt::workload::fault_trace_digest(trace));
+    print_metrics(w.net->metrics(), w.g->node_count(), w.g->edge_count(),
+                  false, "faults");
+    std::printf("dropped deliveries: %" PRIu64 ", loss degrades: %" PRIu64
+                "\nexactness: %s\n",
+                w.net->metrics().dropped_deliveries, w.net->loss_degrades(),
+                oracle_bad == 0 ? "oracle matched after every event"
+                                : "MISMATCHES detected");
+  }
+
+  // Unified artifact (docs/RESULT_SCHEMA.md): counter-only records, so the
+  // file is byte-deterministic at a fixed seed -- the CI faults stage
+  // archives it as BENCH_faultmodel.json.
+  if (artifact != nullptr) {
+    kkt::report::ResultFile& f = *artifact;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      const kkt::workload::FaultRecord& rec = records[i];
+      kkt::report::RunRecord r;
+      r.name = "faultmodel/" + trace.name + "/event=" + std::to_string(i) +
+               "/" + kkt::workload::fault_kind_name(rec.kind);
+      r.counters["applied"] = double(rec.applied);
+      r.counters["tree_edges_removed"] = double(rec.tree_edges_removed);
+      r.counters["replacements"] = double(rec.replacements);
+      r.counters["phases"] = double(rec.phases);
+      r.counters["components_before"] = double(rec.components_before);
+      r.counters["components_after"] = double(rec.components_after);
+      r.counters["messages"] = double(rec.cost.messages);
+      r.counters["rounds"] = double(rec.cost.rounds);
+      r.counters["oracle_ok"] = rec.oracle_ok ? 1.0 : 0.0;
+      f.records.push_back(std::move(r));
+    }
+    kkt::report::RunRecord total;
+    total.name = "faultmodel/" + trace.name + "/total";
+    total.counters["events"] = double(trace.events.size());
+    // Truncated to 53 bits so the double holds it exactly.
+    total.counters["trace_digest"] =
+        double(kkt::workload::fault_trace_digest(trace) >> 11);
+    total.counters["messages"] = double(w.net->metrics().messages);
+    total.counters["rounds"] = double(w.net->metrics().rounds);
+    total.counters["dropped_deliveries"] =
+        double(w.net->metrics().dropped_deliveries);
+    total.counters["loss_degrades"] = double(w.net->loss_degrades());
+    total.counters["oracle_failures"] = double(oracle_bad);
+    f.records.push_back(std::move(total));
+  }
+  return oracle_bad == 0 ? 0 : 1;
+}
+
+int cmd_churn_faults(const Args& a, const kkt::scenario::Scenario& sc) {
+  // Comma-separated model list: one invocation (and one artifact) can
+  // cover the whole fault matrix, e.g. --faults batch,regional,partition.
+  std::vector<kkt::workload::FaultModel> models;
+  const std::string list = a.get("faults", "batch");
+  for (std::size_t at = 0; at <= list.size();) {
+    const std::size_t comma = std::min(list.find(',', at), list.size());
+    if (comma > at) {
+      const std::string name = list.substr(at, comma - at);
+      const auto model = kkt::workload::fault_model_from_name(name);
+      if (!model) {
+        std::fprintf(stderr, "error: unknown fault model '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+      models.push_back(*model);
+    }
+    at = comma + 1;
+  }
+  if (models.empty()) {
+    std::fprintf(stderr, "error: --faults wants at least one model\n");
+    return 2;
+  }
+  if (a.has("record") && models.size() > 1) {
+    std::fprintf(stderr,
+                 "error: --record writes one fault trace; use a single "
+                 "--faults model with it\n");
+    return 2;
+  }
+  kkt::report::ResultFile artifact;
+  artifact.tool = "kkt_lab_faults";
+  int worst = 0;
+  for (const kkt::workload::FaultModel model : models) {
+    worst = std::max(
+        worst, run_fault_model(a, sc, model,
+                               a.has("out") ? &artifact : nullptr));
+  }
+  if (a.has("out")) {
+    const std::string out = a.get("out", "BENCH_faultmodel.json");
+    if (!kkt::report::write_results_file(out, artifact)) {
+      std::fprintf(stderr, "error: cannot write %s\n", out.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+  }
+  return worst;
+}
+
 void print_cost_stats(const char* what, const kkt::workload::CostStats& s) {
   std::printf("  %-8s min=%" PRIu64 " p50=%" PRIu64 " mean=%.1f p99=%" PRIu64
               " max=%" PRIu64 " total=%" PRIu64 "\n",
@@ -402,6 +598,16 @@ int cmd_churn(const Args& a) {
   sc.graph = make_graph_spec(a);
   sc.net = make_net_spec(a, kkt::scenario::NetKind::kAsync);
   sc.seed = seed;
+
+  if (a.has("faults")) {
+    if (a.has("sweep") || a.has("trace")) {
+      std::fprintf(stderr,
+                   "error: --faults drives its own event stream; it "
+                   "composes with --record/--out, not --sweep/--trace\n");
+      return 2;
+    }
+    return cmd_churn_faults(a, sc);
+  }
 
   const std::string workload = a.get("workload", "uniform");
   const auto kind = kkt::workload::workload_from_name(workload);

@@ -1,5 +1,7 @@
 #include "core/session.h"
 
+#include <algorithm>
+
 #include "graph/mst_oracle.h"
 
 namespace kkt::core {
@@ -97,6 +99,39 @@ const OpRecord& MaintenanceSession::apply(const UpdateOp& op) {
   }
   last_ = std::move(rec);
   return last_;
+}
+
+BatchRecord MaintenanceSession::apply_batch(std::span<const UpdateOp> ops) {
+  BatchRecord rec;
+  rec.requested = ops.size();
+  const sim::Metrics before = net_->metrics();
+  rec.components_before = forest_->components().second;
+
+  // Resolve endpoint pairs to live edge indices; duplicates collapse (the
+  // batch semantics are set semantics, and delete_batch requires each edge
+  // alive at entry).
+  std::vector<graph::EdgeIdx> victims;
+  victims.reserve(ops.size());
+  const std::size_t n = graph_->node_count();
+  for (const UpdateOp& op : ops) {
+    if (op.kind != OpKind::kDelete) continue;
+    if (op.u >= n || op.v >= n || op.u == op.v) continue;
+    if (const auto e = graph_->find_edge(op.u, op.v)) victims.push_back(*e);
+  }
+  std::sort(victims.begin(), victims.end());
+  victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+  rec.applied = victims.size();
+
+  if (!victims.empty()) rec.outcome = dyn_.delete_batch(victims);
+
+  rec.components_after = forest_->components().second;
+  rec.cost = net_->metrics() - before;
+  if (options_.check_oracle) {
+    rec.oracle_ok = oracle_consistent();
+    if (!rec.oracle_ok) ++oracle_failures_;
+  }
+  ops_applied_ += rec.applied;
+  return rec;
 }
 
 std::size_t MaintenanceSession::apply_all(std::span<const UpdateOp> ops) {

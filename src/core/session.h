@@ -97,6 +97,27 @@ struct OpRecord {
   bool oracle_ok = true;
 };
 
+// What one batch of concurrent deletions did and what it cost (the batch
+// analogue of OpRecord; fault workloads feed these via workload/faults.h).
+struct BatchRecord {
+  // Ops handed in; only deletes participate in a batch.
+  std::size_t requested = 0;
+  // Deletes that resolved to distinct alive edges (the rest are replay
+  // drift, skipped at zero cost like OpRecord::applied == false).
+  std::size_t applied = 0;
+  DynamicForest::BatchOutcome outcome;
+  // Forest component count before/after the batch repair: partition
+  // detection. A batch that cuts the network apart leaves
+  // components_after > components_before even after repair (the orphaned
+  // sides hold bridge certificates, not replacements).
+  std::size_t components_before = 0;
+  std::size_t components_after = 0;
+  // Full metric delta of the whole batch (removal + phased repair).
+  sim::Metrics cost;
+  // Oracle verdict (always true when check_oracle is off).
+  bool oracle_ok = true;
+};
+
 class MaintenanceSession {
  public:
   MaintenanceSession(graph::Graph& g, graph::MarkedForest& forest,
@@ -107,6 +128,14 @@ class MaintenanceSession {
   // until the next apply() call (the log's storage may move as it grows);
   // copy the record or read log() afterwards to keep history.
   const OpRecord& apply(const UpdateOp& op);
+
+  // Applies a batch of concurrent deletions as *one* repair (the paper's
+  // "simultaneous edge changes" future work, via DynamicForest::
+  // delete_batch): resolves every delete against the current graph,
+  // deduplicates, removes the survivors at once, and repairs the forest
+  // with Boruvka-style phases over the damaged fragments. Non-delete and
+  // unresolved members are counted in `requested` but not `applied`.
+  BatchRecord apply_batch(std::span<const UpdateOp> ops);
 
   // Applies a whole stream; returns the number of oracle failures observed
   // during it (0 unless check_oracle is set).
@@ -131,6 +160,12 @@ class MaintenanceSession {
 
   // Oracle consistency of the current forest (what check_oracle asserts).
   bool oracle_consistent() const;
+
+  // Component count of the maintained forest right now: the partition
+  // detector (a disconnecting fault raises it, the heal lowers it back).
+  std::size_t forest_components() const {
+    return forest_->components().second;
+  }
 
  private:
   graph::Graph* graph_;

@@ -103,6 +103,9 @@ std::string_view task_title(std::string_view task) {
   if (task == "repair_delete") {
     return "Repair (tree-edge deletion) — KKT vs naive";
   }
+  if (task == "repair_batch") {
+    return "Batch repair vs recompute — n column is batch size k";
+  }
   return task;
 }
 
@@ -233,6 +236,31 @@ std::string render_experiments_block(const ResultFile& f) {
            fmt3(flood->counter_or("exponent", 0)) +
            " on the same graphs — the o(m) gap, asserted by "
            "`tests/headtohead_test.cc` and the CI report stage.\n";
+  }
+  // E18: where the fitted batch-repair and rebuild-from-scratch curves
+  // cross. Both are power laws in the batch size k (the repair_batch
+  // task's n column), so C_r·k^e_r = C_b·k^e_b solves to
+  // k* = (C_rebuild / C_repair)^(1 / (e_repair - e_rebuild)).
+  const RunRecord* rep = find_fit(tasks, "repair_batch", "kkt");
+  const RunRecord* reb = find_fit(tasks, "repair_batch", "rebuild");
+  if (rep && reb) {
+    const double e_rep = rep->counter_or("exponent", 0);
+    const double e_reb = reb->counter_or("exponent", 0);
+    const double c_rep = rep->counter_or("coeff", 0);
+    const double c_reb = reb->counter_or("coeff", 0);
+    out += "\nCrossover (E18): batch repair costs ~" + fmt3(c_rep) +
+           "·k^" + fmt3(e_rep) + " messages, recompute-from-scratch ~" +
+           fmt3(c_reb) + "·k^" + fmt3(e_reb) + ";";
+    if (c_rep > 0 && e_rep > e_reb) {
+      const double kstar =
+          std::pow(c_reb / c_rep, 1.0 / (e_rep - e_reb));
+      out += " the curves cross at k* ≈ " + fmt3(kstar) +
+             " concurrent deletions — below that, impromptu repair "
+             "(Theorem 1.2) beats rebuilding.\n";
+    } else {
+      out += " repair stays below recompute over the whole measured "
+             "k grid (no crossover in range).\n";
+    }
   }
   return out;
 }

@@ -1,5 +1,6 @@
 #include "scenario/headtohead.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "baseline/flood_st.h"
@@ -115,6 +116,24 @@ void naive_delete_and_repair(World& w, int i) {
       if (w.g->edge_num(e) == res.edge_num) w.forest->mark_edge(e);
     }
   }
+}
+
+// The k victims of one repair_batch cell: tree edges spread evenly around
+// the premarked MST (the pick_victim rotation generalized to a batch), so
+// the damage is distributed rather than an accident of index order. Both
+// competitors call this on the same premarked world and therefore delete
+// the same edges.
+std::vector<graph::EdgeIdx> batch_victims(const World& w, std::size_t k) {
+  const auto tree = w.forest->marked_edges();
+  std::vector<graph::EdgeIdx> victims;
+  if (tree.empty()) return victims;
+  if (k > tree.size()) k = tree.size();
+  const std::size_t step = std::max<std::size_t>(1, tree.size() / k);
+  victims.reserve(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    victims.push_back(tree[(tree.size() / 3 + j * step) % tree.size()]);
+  }
+  return victims;
 }
 
 struct SeriesSpec {
@@ -258,6 +277,91 @@ HeadToHeadResult run_headtohead(const HeadToHeadConfig& cfg) {
     }
   }
 
+  // Repair-vs-recompute (E18): fixed instance (the largest grid size),
+  // batch size k on the x axis. "kkt" repairs the k-deletion batch in
+  // place (apply_batch -> delete_batch's phased Boruvka completion);
+  // "rebuild" deletes the same edges, forgets the forest, and rebuilds
+  // from scratch -- the recompute bill is ~flat in k, the repair bill
+  // grows with k, and the fitted crossover is where they meet.
+  if (cfg.repair_batch && !sizes.empty()) {
+    std::size_t bi = 0;
+    for (std::size_t i = 1; i < sizes.size(); ++i) {
+      if (sizes[i] > sizes[bi]) bi = i;
+    }
+    const std::size_t nb = sizes[bi];
+    const std::size_t mb = edge_counts[bi];
+    std::vector<std::size_t> ks;
+    for (std::size_t k = 1; k <= nb / 4; k *= 2) ks.push_back(k);
+    const std::pair<const char*, ScenarioBody (*)(std::size_t)>
+        batch_algos[] = {
+            {"kkt",
+             [](std::size_t k) -> ScenarioBody {
+               return [k](World& w) {
+                 core::MaintenanceSession session(w.graph(), w.trees(),
+                                                  w.network(),
+                                                  core::ForestKind::kMst);
+                 std::vector<core::UpdateOp> dels;
+                 for (const graph::EdgeIdx e : batch_victims(w, k)) {
+                   const graph::Edge& ed = w.g->edge(e);
+                   dels.push_back(core::UpdateOp::erase(ed.u, ed.v));
+                 }
+                 session.apply_batch(dels);
+               };
+             }},
+            {"rebuild",
+             [](std::size_t k) -> ScenarioBody {
+               return [k](World& w) {
+                 for (const graph::EdgeIdx e : batch_victims(w, k)) {
+                   w.g->remove_edge(e);
+                 }
+                 w.forest->clear_all();
+                 core::build_mst(w.network(), w.trees());
+               };
+             }},
+        };
+    for (const auto& [algo, make_body] : batch_algos) {
+      std::vector<double> xs, ys;
+      for (const std::size_t k : ks) {
+        const Scenario sc = cell_scenario(cfg, nb, /*premark=*/true);
+        const std::uint64_t t0 = cfg.measure ? util::wall_now_ns() : 0;
+        const std::vector<sim::Metrics> runs = run_sweep(
+            sc, cfg.first_seed, cfg.seeds, make_body(k), cfg.threads);
+        const std::uint64_t t1 = cfg.measure ? util::wall_now_ns() : 0;
+
+        HeadToHeadCell cell;
+        cell.task = "repair_batch";
+        cell.algo = algo;
+        cell.n = k;  // x axis: batch size, not node count
+        cell.m = mb;
+        cell.seeds = static_cast<int>(runs.size());
+        for (const sim::Metrics& run : runs) {
+          cell.messages += static_cast<double>(run.messages);
+          cell.bits += static_cast<double>(run.message_bits);
+          cell.rounds += static_cast<double>(run.rounds);
+          cell.bcast_echoes += static_cast<double>(run.broadcast_echoes);
+        }
+        const double denom = static_cast<double>(runs.empty() ? 1
+                                                              : runs.size());
+        cell.messages /= denom;
+        cell.bits /= denom;
+        cell.rounds /= denom;
+        cell.bcast_echoes /= denom;
+        if (cfg.measure && !runs.empty()) {
+          cell.wall_ns = (t1 - t0) / runs.size();
+          cell.peak_rss_kb = util::peak_rss_kb();
+        }
+        xs.push_back(static_cast<double>(k));
+        ys.push_back(cell.messages);
+        result.cells.push_back(std::move(cell));
+      }
+      if (const auto fit = report::fit_power_law(xs, ys)) {
+        result.fits.push_back(HeadToHeadFit{"repair_batch", algo,
+                                            fit->exponent, fit->coeff,
+                                            fit->r2, fit->points});
+      }
+    }
+  }
+
   // The web-scale task: BuildMST only, implicit grid+long-links family,
   // kkt vs ghs, one run per cell (rationale on HeadToHeadConfig::xl_sizes).
   std::vector<std::size_t> xl_sizes;
@@ -339,6 +443,9 @@ report::ResultFile HeadToHeadResult::to_result_file() const {
   if (!config.xl_sizes.empty()) {
     meta.counters["xl_long_links"] = static_cast<double>(config.xl_long_links);
   }
+  // Likewise for the E18 batch sweep (enabled by default, but a disabled
+  // run should not advertise it).
+  if (config.repair_batch) meta.counters["repair_batch"] = 1.0;
   f.records.push_back(std::move(meta));
 
   for (const HeadToHeadCell& c : cells) {

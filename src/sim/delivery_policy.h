@@ -57,6 +57,23 @@ class DeliveryPolicy {
   // heap would have produced. Policies that cannot promise this keep the
   // default and take the general heap path.
   virtual bool unit_delay() const noexcept { return false; }
+
+  // Whether this policy's configuration can ever drop() a message. The
+  // Network consults this once per run: lossy schedules only apply to
+  // protocols that declare Protocol::loss_safe(); for the rest loss
+  // degrades to plain delay (drop() is never called, so the delay stream
+  // is untouched), mirroring the shard_safe() degrade.
+  virtual bool lossy() const noexcept { return false; }
+
+  // Whether the message sent along {from, to} at virtual time `now` is
+  // lost in transit. Called once per send (before duplicates are drawn;
+  // a dropped send loses its duplicates too) and only when lossy() is
+  // true and the protocol is loss-safe. Loss draws must come from a
+  // stream independent of delivery_time's so that disabling loss leaves
+  // the delay schedule bit-identical.
+  virtual bool drop(NodeId /*from*/, NodeId /*to*/, std::uint64_t /*now*/) {
+    return false;
+  }
 };
 
 // Synchronous CONGEST rounds: arrive exactly one time unit after sending,
@@ -102,6 +119,26 @@ struct AdversarialConfig {
   // is an opt-in fault-injection experiment.
   std::uint64_t duplicate_num = 0;
   std::uint64_t duplicate_den = 1;
+  // Bernoulli(loss_num / loss_den) chance that a message is silently lost
+  // (counted in Metrics::dropped_deliveries, never delivered). Off by
+  // default; individual edges may override via set_edge_loss. Loss draws
+  // come from a stream separate from the delay stream, so turning loss on
+  // or off never perturbs the delivery schedule of surviving messages.
+  std::uint64_t loss_num = 0;
+  std::uint64_t loss_den = 1;
+  // Deterministic burst outages: every message sent during a window
+  //   [loss_burst_start + i * loss_burst_period,
+  //    loss_burst_start + i * loss_burst_period + loss_burst_len)
+  // of virtual time (i = 0, 1, ...) is dropped, no randomness involved.
+  // Disabled unless both loss_burst_len and loss_burst_period are nonzero;
+  // loss_burst_len >= loss_burst_period means a permanent blackout.
+  std::uint64_t loss_burst_start = 0;
+  std::uint64_t loss_burst_len = 0;
+  std::uint64_t loss_burst_period = 0;
+
+  bool loss_configured() const noexcept {
+    return loss_num != 0 || (loss_burst_len != 0 && loss_burst_period != 0);
+  }
 };
 
 // Adversarial (but seeded, hence replayable) schedules: per-edge delay
@@ -109,7 +146,9 @@ struct AdversarialConfig {
 class AdversarialPolicy final : public DeliveryPolicy {
  public:
   AdversarialPolicy(std::uint64_t seed, AdversarialConfig cfg = {})
-      : rng_(util::mix_seeds(seed, 0xadf5)), cfg_(cfg) {}
+      : rng_(util::mix_seeds(seed, 0xadf5)),
+        loss_rng_(util::mix_seeds(seed, 0x1055)),
+        cfg_(cfg) {}
 
   // Override the delay bounds of the single edge {u, v} (both directions).
   void set_edge_bounds(NodeId u, NodeId v, std::uint64_t min_delay,
@@ -154,12 +193,62 @@ class AdversarialPolicy final : public DeliveryPolicy {
     return rng_.bernoulli(cfg_.duplicate_num, cfg_.duplicate_den) ? 1 : 0;
   }
 
+  // Override the loss probability of the single edge {u, v} (both
+  // directions). A 0/1 override exempts the edge from the default rate.
+  void set_edge_loss(NodeId u, NodeId v, std::uint64_t loss_num,
+                     std::uint64_t loss_den) {
+    const std::uint64_t key = edge_key(u, v);
+    const auto it = std::lower_bound(
+        edge_loss_.begin(), edge_loss_.end(), key,
+        [](const auto& entry, std::uint64_t k) { return entry.first < k; });
+    if (it != edge_loss_.end() && it->first == key) {
+      it->second = {loss_num, loss_den};
+    } else {
+      edge_loss_.insert(it, {key, Loss{loss_num, loss_den}});
+    }
+  }
+
+  bool lossy() const noexcept override {
+    return cfg_.loss_configured() || !edge_loss_.empty();
+  }
+
+  bool drop(NodeId from, NodeId to, std::uint64_t now) override {
+    // Burst windows are pure functions of virtual time: no draw, so a
+    // schedule with bursts alone stays bit-identical to the lossless one.
+    if (cfg_.loss_burst_len != 0 && cfg_.loss_burst_period != 0 &&
+        now >= cfg_.loss_burst_start) {
+      const std::uint64_t phase =
+          (now - cfg_.loss_burst_start) % cfg_.loss_burst_period;
+      if (phase < cfg_.loss_burst_len) return true;
+    }
+    std::uint64_t num = cfg_.loss_num, den = cfg_.loss_den;
+    if (!edge_loss_.empty()) {
+      const std::uint64_t key = edge_key(from, to);
+      const auto it = std::lower_bound(
+          edge_loss_.begin(), edge_loss_.end(), key,
+          [](const auto& entry, std::uint64_t k) {
+            return entry.first < k;
+          });
+      if (it != edge_loss_.end() && it->first == key) {
+        num = it->second.num;
+        den = it->second.den;
+      }
+    }
+    if (num == 0) return false;
+    return loss_rng_.bernoulli(num, den);
+  }
+
   const AdversarialConfig& config() const noexcept { return cfg_; }
 
  private:
   struct Bounds {
     std::uint64_t min_delay;
     std::uint64_t max_delay;
+  };
+
+  struct Loss {
+    std::uint64_t num;
+    std::uint64_t den;
   };
 
   static std::uint64_t edge_key(NodeId u, NodeId v) noexcept {
@@ -171,13 +260,16 @@ class AdversarialPolicy final : public DeliveryPolicy {
     return (static_cast<std::uint64_t>(u) << 32) | v;
   }
 
-  util::Rng rng_;
+  util::Rng rng_;       // delay + reorder + duplicate draws
+  util::Rng loss_rng_;  // loss draws only (separate stream by design)
   AdversarialConfig cfg_;
   // Sorted flat map keyed by edge_key: lookup order (and, unlike a hash
   // map, iteration order -- should anyone add it) is value-determined,
   // never allocation- or implementation-determined. The override set is
   // tiny, so binary search beats hashing here anyway.
   std::vector<std::pair<std::uint64_t, Bounds>> edge_bounds_;
+  // Per-edge loss overrides, same sorted-flat-map discipline.
+  std::vector<std::pair<std::uint64_t, Loss>> edge_loss_;
 };
 
 }  // namespace kkt::sim

@@ -25,6 +25,11 @@ struct Metrics {
   // Adversarial duplicate deliveries injected by the transport (these are
   // schedule faults, not protocol cost, so they are not part of `messages`).
   std::uint64_t duplicate_deliveries = 0;
+  // Sent messages the transport never delivered: seeded loss draws, link-
+  // state outages, and the max_rounds backstop discarding leftovers. Like
+  // duplicates these are transport faults, counted separately -- the send
+  // still appears in `messages` because the protocol paid for it.
+  std::uint64_t dropped_deliveries = 0;
   // High-water mark of per-node protocol scratch state, in bits, as
   // reported by protocols (audits the O(log(n+u)) memory claim).
   std::uint64_t peak_node_state_bits = 0;
@@ -53,6 +58,7 @@ struct Metrics {
     broadcast_echoes += o.broadcast_echoes;
     oversized_messages += o.oversized_messages;
     duplicate_deliveries += o.duplicate_deliveries;
+    dropped_deliveries += o.dropped_deliveries;
     if (o.peak_node_state_bits > peak_node_state_bits) {
       peak_node_state_bits = o.peak_node_state_bits;
     }
@@ -77,6 +83,7 @@ struct Metrics {
     d.oversized_messages = oversized_messages - before.oversized_messages;
     d.duplicate_deliveries =
         duplicate_deliveries - before.duplicate_deliveries;
+    d.dropped_deliveries = dropped_deliveries - before.dropped_deliveries;
     d.peak_node_state_bits = peak_node_state_bits;
     for (std::size_t i = 0; i < per_tag.size(); ++i) {
       d.per_tag[i] = per_tag[i] - before.per_tag[i];

@@ -229,6 +229,14 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
       ++lane->metrics.oversized_messages;
       assert(false && "CONGEST message budget exceeded");
     }
+    // Link outage: the send is paid for but never delivered. is_down() is a
+    // pure function of the endpoints, so every shard count sees the same
+    // drops; skipping both the outbox push and the count increment keeps
+    // the barrier merge consistent (this delivery spliced zero sends).
+    if (links_.is_down(from, to)) {
+      ++lane->metrics.dropped_deliveries;
+      return;
+    }
     assert(!lane->counts.empty() && "worker send outside a delivery");
     lane->outbox.push_back(Envelope{from, to, msg});
     ++lane->counts.back();
@@ -242,6 +250,16 @@ void Network::send(NodeId from, NodeId to, const Message& msg) {
   if (msg.words.overflowed()) {
     ++metrics_.oversized_messages;
     assert(false && "CONGEST message budget exceeded");
+  }
+  // Transport faults, checked in severity order: a down link swallows the
+  // send for every protocol (and spends no loss draw -- the link state is
+  // deterministic on its own); otherwise a lossy policy may drop it, which
+  // also forfeits the send's duplicates. The send was still counted above:
+  // the protocol paid for it, the network just never delivers it.
+  if (links_.is_down(from, to) ||
+      (loss_active_ && policy_->drop(from, to, now_))) {
+    ++metrics_.dropped_deliveries;
+    return;
   }
   const Envelope env{from, to, msg};
   if (fast_path_) {
@@ -269,6 +287,8 @@ std::uint64_t Network::drain_rounds(Protocol& proto,
     if (now_ + 1 - start > max_rounds) {
       // Backstop hit: every pending delivery shares the same timestamp, so
       // dropping the whole bucket matches the heap path's per-event check.
+      // The discards are transport drops like any other -- count them.
+      metrics_.dropped_deliveries += next_round_.size();
       next_round_.clear();
       now_ = start + max_rounds;
       break;
@@ -334,6 +354,7 @@ std::uint64_t Network::drain_rounds_sharded(Protocol& proto,
   const std::uint64_t start = now_;
   while (!next_round_.empty()) {
     if (now_ + 1 - start > max_rounds) {
+      metrics_.dropped_deliveries += next_round_.size();
       next_round_.clear();
       now_ = start + max_rounds;
       break;
@@ -369,7 +390,10 @@ std::uint64_t Network::drain(Protocol& proto, std::uint64_t max_rounds) {
     const Event ev = heap_pop();
     if (ev.at - start > max_rounds) {
       // Backstop hit: drop undeliverable leftovers so the next operation
-      // starts from a clean transport.
+      // starts from a clean transport. The popped event plus everything
+      // still heaped is undelivered -- count them as transport drops
+      // instead of discarding silently (tests/sim_test.cc pins the count).
+      metrics_.dropped_deliveries += heap_.size() + 1;
       queue_clear();
       now_ = start + max_rounds;
       break;
@@ -390,7 +414,19 @@ std::uint64_t Network::run(Protocol& proto,
                            std::uint64_t max_rounds) {
   assert(active_ == nullptr && "nested Network::run");
   active_ = &proto;
-  fast_path_ = round_batching_enabled_ && policy_->unit_delay();
+  // Loss engages only when the policy is lossy AND the protocol declares it
+  // can tolerate dropped messages; otherwise loss degrades to plain delay
+  // (drop() is never consulted, so the loss rng stream is never advanced
+  // and the schedule is bit-identical to the lossless configuration) and
+  // the downgrade is counted -- the shard_safe() pattern applied to loss.
+  const bool lossy_policy = policy_->lossy();
+  loss_active_ = lossy_policy && proto.loss_safe();
+  if (lossy_policy && !loss_active_) ++loss_degrades_;
+  // An active loss schedule forces the heap path: drop() draws from the
+  // policy's rng, which must advance in the single-threaded send order
+  // (no lossy policy is unit-delay today; this guards a future one).
+  fast_path_ =
+      round_batching_enabled_ && policy_->unit_delay() && !loss_active_;
   // Sharding rides the round-batched fast path only: the heap path has no
   // round barriers to exchange at, and protocols may opt out (shard_safe),
   // as may the graph backend (implicit families serve rows from shared
@@ -422,6 +458,7 @@ std::uint64_t Network::run(Protocol& proto,
     sharded_ = false;
   }
   active_ = nullptr;
+  loss_active_ = false;
   metrics_.rounds += elapsed;
   return elapsed;
 }

@@ -58,6 +58,7 @@
 
 #include "graph/graph.h"
 #include "sim/delivery_policy.h"
+#include "sim/link_state.h"
 #include "sim/message.h"
 #include "sim/metrics.h"
 #include "sim/shard.h"
@@ -85,6 +86,17 @@ class Protocol {
   // per-edge table read by same-round peers -- return false and run on the
   // sequential fast path instead (still deterministic, just unsharded).
   virtual bool shard_safe() const { return true; }
+  // Whether the protocol tolerates seeded message *loss* (DeliveryPolicy::
+  // drop): every handler chain must still reach quiescence and leave the
+  // node-local state safe (possibly with a degraded result) when any subset
+  // of sends is never delivered. Protocols built on interlocked request/
+  // reply phases that deadlock-or-corrupt on a missing reply return false;
+  // the Network then degrades loss to plain delay for them (drop() is
+  // never consulted, the schedule is bit-identical to the lossless run)
+  // and counts the downgrade in Network::loss_degrades() -- exactly the
+  // shard_safe() degrade pattern. LinkState outages are exempt: they model
+  // topology-shaped faults and apply to every protocol.
+  virtual bool loss_safe() const { return true; }
 };
 
 class Network {
@@ -121,6 +133,29 @@ class Network {
 
   // Per-node random stream (deterministic given the network seed).
   util::Rng& node_rng(NodeId v) noexcept { return node_rngs_[v]; }
+
+  // --- fault injection ------------------------------------------------------
+  // Link outages (sim/link_state.h): sends along a down link are counted
+  // but never delivered, for every protocol and on every delivery path.
+  // Mutations are sequential-context only, hence the asserting forwarders.
+  const LinkState& links() const noexcept { return links_; }
+  void set_link_down(NodeId u, NodeId v) {
+    assert(active_ == nullptr && "link mutation during Network::run");
+    links_.set_down(u, v);
+  }
+  void set_link_up(NodeId u, NodeId v) {
+    assert(active_ == nullptr && "link mutation during Network::run");
+    links_.set_up(u, v);
+  }
+  void heal_all_links() {
+    assert(active_ == nullptr && "link mutation during Network::run");
+    links_.all_up();
+  }
+
+  // Number of runs in which a lossy policy was degraded to plain delay
+  // because the protocol declared loss_safe() == false (the loss analogue
+  // of the shard degrade; tests/fault_test.cc pins the behavior).
+  std::uint64_t loss_degrades() const noexcept { return loss_degrades_; }
 
   // Protocols report their peak per-node scratch footprint (bits) here.
   // Out of line: on a shard worker the report lands in the worker's lane
@@ -219,9 +254,12 @@ class Network {
   std::vector<Envelope> next_round_;  // fast path: sends land here (seq order)
   std::uint64_t now_ = 0;             // virtual clock, per-operation
   std::uint64_t seq_ = 0;             // send sequence (monotonic)
+  LinkState links_;                   // down/up overlay (fault injection)
+  std::uint64_t loss_degrades_ = 0;   // lossy runs degraded to delay
   bool round_batching_enabled_ = true;
   bool fast_path_ = false;            // this run uses the round buckets
   bool sharded_ = false;              // this run uses the shard workers
+  bool loss_active_ = false;          // this run consults policy drop()
   ShardSpec shard_spec_{};
   ShardMap shard_map_;                // rebuilt per run (node count may grow)
   std::size_t shard_serial_cutoff_ = kDefaultShardSerialCutoff;

@@ -363,20 +363,66 @@ TEST(Metrics, PlusEquals) {
   a.peak_node_state_bits = 100;
   a.per_tag_bits[1] = 64;
   a.duplicate_deliveries = 2;
+  a.dropped_deliveries = 4;
   Metrics b;
   b.messages = 3;
   b.rounds = 2;
   b.peak_node_state_bits = 50;
   b.per_tag_bits[1] = 16;
   b.duplicate_deliveries = 1;
+  b.dropped_deliveries = 2;
   a += b;
   EXPECT_EQ(a.messages, 13u);
   EXPECT_EQ(a.rounds, 7u);
   EXPECT_EQ(a.peak_node_state_bits, 100u);  // high-water mark, not a sum
   EXPECT_EQ(a.per_tag_bits[1], 80u);
   EXPECT_EQ(a.duplicate_deliveries, 3u);
+  EXPECT_EQ(a.dropped_deliveries, 6u);
   a.reset();
   EXPECT_EQ(a.messages, 0u);
+  EXPECT_EQ(a.dropped_deliveries, 0u);
+}
+
+// The max_rounds backstop discards whatever is still in flight. Those
+// discards must surface in dropped_deliveries -- not vanish silently --
+// and the count must agree between the round-batched bucket drain and the
+// (at, seq) heap drain.
+TEST(SyncNetwork, MaxRoundsBackstopCountsUndeliveredAsDrops) {
+  auto g = path_graph(2, 20);
+  SyncNetwork net(*g, 7);
+  PingPong proto(0, 1, 100);
+  const NodeId participants[] = {0};
+  const std::uint64_t rounds = net.run(proto, participants, /*max_rounds=*/10);
+  // Ten hops land; the eleventh send is pending when the backstop trips.
+  EXPECT_EQ(rounds, 10u);
+  EXPECT_EQ(proto.received(), 10);
+  EXPECT_EQ(net.metrics().messages, 11u);
+  EXPECT_EQ(net.metrics().dropped_deliveries, 1u);
+}
+
+TEST(SyncNetwork, MaxRoundsBackstopDropCountMatchesOnHeapPath) {
+  auto g = path_graph(2, 21);
+  SyncNetwork net(*g, 7);
+  net.set_round_batching(false);
+  PingPong proto(0, 1, 100);
+  const NodeId participants[] = {0};
+  net.run(proto, participants, /*max_rounds=*/10);
+  EXPECT_EQ(proto.received(), 10);
+  EXPECT_EQ(net.metrics().messages, 11u);
+  EXPECT_EQ(net.metrics().dropped_deliveries, 1u);
+}
+
+TEST(SyncNetwork, MaxRoundsBackstopDropCountMatchesOnShardedPath) {
+  auto g = path_graph(2, 22);
+  SyncNetwork net(*g, 7);
+  net.set_shards(ShardSpec{2, ShardPartition::kContiguous});
+  net.set_shard_serial_cutoff(0);
+  PingPong proto(0, 1, 100);
+  const NodeId participants[] = {0};
+  net.run(proto, participants, /*max_rounds=*/10);
+  EXPECT_EQ(proto.received(), 10);
+  EXPECT_EQ(net.metrics().messages, 11u);
+  EXPECT_EQ(net.metrics().dropped_deliveries, 1u);
 }
 
 }  // namespace

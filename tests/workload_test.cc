@@ -7,6 +7,7 @@
 
 #include "core/session.h"
 #include "test_util.h"
+#include "workload/faults.h"
 #include "workload/generators.h"
 #include "workload/stats.h"
 #include "workload/trace.h"
@@ -135,6 +136,134 @@ TEST(Trace, RejectsMalformedInput) {
   reject("t x 1 1\n+ 0 0 5\n");          // self loop
   reject("t x 1 1\n+ 0 1 0\n");          // zero weight
   reject("t x 1 1\nt y 2 1\n+ 0 1 5\n"); // duplicate header
+}
+
+TEST(FaultTraceIo, TextRoundTrip) {
+  FaultTrace t;
+  t.name = "mixed";
+  t.seed = 41;
+  t.events.push_back(FaultEvent::op(UpdateOp::insert(0, 5, 123)));
+  t.events.push_back(
+      FaultEvent{FaultKind::kBatchDelete,
+                 {UpdateOp::erase(1, 2), UpdateOp::erase(3, 4)}});
+  t.events.push_back(FaultEvent{FaultKind::kRegional, {UpdateOp::erase(5, 6)}});
+  t.events.push_back(
+      FaultEvent{FaultKind::kPartitionCut, {UpdateOp::erase(7, 8)}});
+  t.events.push_back(FaultEvent::op(UpdateOp::reweigh(0, 5, 9)));
+  t.events.push_back(
+      FaultEvent{FaultKind::kHeal,
+                 {UpdateOp::insert(7, 8, 3), UpdateOp::insert(5, 6, 4)}});
+
+  std::stringstream ss;
+  write_fault_trace(ss, t);
+  std::string error;
+  const auto back = read_fault_trace(ss, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(back->name, t.name);
+  EXPECT_EQ(back->seed, t.seed);
+  ASSERT_EQ(back->events.size(), t.events.size());
+  for (std::size_t i = 0; i < t.events.size(); ++i) {
+    EXPECT_EQ(back->events[i].kind, t.events[i].kind) << i;
+    EXPECT_EQ(back->events[i].members, t.events[i].members) << i;
+  }
+  EXPECT_EQ(fault_trace_digest(*back), fault_trace_digest(t));
+}
+
+// A fault trace holding only kOp events is byte-compatible with the plain
+// update-trace format -- both readers accept it and agree on the ops.
+TEST(FaultTraceIo, OpOnlyTraceIsUpdateTraceCompatible) {
+  FaultTrace ft;
+  ft.name = "plain";
+  ft.seed = 9;
+  ft.events.push_back(FaultEvent::op(UpdateOp::insert(0, 1, 7)));
+  ft.events.push_back(FaultEvent::op(UpdateOp::erase(2, 3)));
+
+  std::stringstream ss;
+  write_fault_trace(ss, ft);
+  const std::string text = ss.str();
+
+  std::istringstream as_update(text);
+  std::string error;
+  const auto ut = read_trace(as_update, &error);
+  ASSERT_TRUE(ut.has_value()) << error;
+  ASSERT_EQ(ut->ops.size(), 2u);
+  EXPECT_EQ(ut->ops[0], ft.events[0].members.front());
+  EXPECT_EQ(ut->ops[1], ft.events[1].members.front());
+
+  std::istringstream as_fault(text);
+  const auto back = read_fault_trace(as_fault, &error);
+  ASSERT_TRUE(back.has_value()) << error;
+  EXPECT_EQ(fault_trace_digest(*back), fault_trace_digest(ft));
+}
+
+TEST(FaultTraceIo, RejectsMalformedInput) {
+  const auto reject = [](const char* text) {
+    std::istringstream is(text);
+    std::string error;
+    EXPECT_FALSE(read_fault_trace(is, &error).has_value()) << text;
+    EXPECT_FALSE(error.empty()) << text;
+  };
+  reject("");                                        // no header
+  reject("F batch 1\n- 0 1\n");                      // F before header
+  reject("t x 1 1\nF melt 1\n- 0 1\n");              // unknown fault kind
+  reject("t x 1 1\nF op 1\n+ 0 1 5\n");              // op spelled as F record
+  reject("t x 1 1\nF batch 0\n");                    // empty fault event
+  reject("t x 1 1\nF batch\n");                      // malformed fault event
+  reject("t x 1 1\nF batch 2\n- 0 1\n");             // unterminated at EOF
+  reject("t x 1 2\nF batch 2\n- 0 1\nF cut 1\n- 2 3\n");  // unterminated
+  reject("t x 1 1\nF batch 1\n+ 0 1 5\n");           // insert inside batch
+  reject("t x 1 1\nF heal 1\n- 0 1\n");              // delete inside heal
+  reject("t x 1 2\nF batch 1\n- 0 1\n");             // event count mismatch
+  reject("t x 1 1\nt y 2 1\n- 0 1\n");               // duplicate header
+  reject("t x 1 1\nz 0 1\n");                        // unknown record
+  reject("t x 1 1\nF batch 1\n- 0 0\n");             // self-loop member
+  reject("t x 1 1\nF heal 1\n+ 0 1 0\n");            // zero-weight member
+}
+
+TEST(FaultTraceIo, GeneratedTracesRoundTripAllModels) {
+  World w = make_gnm_world(32, 96, 6);
+  for (int m = 0; m < kFaultModelCount; ++m) {
+    FaultSpec spec;
+    spec.model = static_cast<FaultModel>(m);
+    spec.events = 3;
+    const FaultTrace t = generate_faults(*w.g, spec, 123);
+    EXPECT_EQ(t.name, fault_model_name(spec.model));
+    std::stringstream ss;
+    write_fault_trace(ss, t);
+    std::string error;
+    const auto back = read_fault_trace(ss, &error);
+    ASSERT_TRUE(back.has_value()) << fault_model_name(spec.model) << ": "
+                                  << error;
+    EXPECT_EQ(fault_trace_digest(*back), fault_trace_digest(t))
+        << fault_model_name(spec.model);
+  }
+}
+
+// Pinned like Generator.GoldenTraceDigests: fault generators are replay
+// artifacts, so their RNG streams must not drift across refactors.
+TEST(FaultTraceIo, GoldenFaultDigests) {
+  World w = make_gnm_world(32, 128, 2015);
+  const std::uint64_t seed = util::mix_seeds(2015, kFaultSeedSalt);
+  const auto digest_of = [&](FaultModel model) {
+    FaultSpec spec;
+    spec.model = model;
+    return fault_trace_digest(generate_faults(*w.g, spec, seed));
+  };
+  EXPECT_EQ(digest_of(FaultModel::kBatch), 0x138bfcc719991a0fULL);
+  EXPECT_EQ(digest_of(FaultModel::kRegional), 0x7caa8ec9c3f7bc09ULL);
+  EXPECT_EQ(digest_of(FaultModel::kPartition), 0xe423835ef21f05abULL);
+}
+
+TEST(FaultTraceIo, DigestDiscriminates) {
+  FaultTrace a;
+  a.events.push_back(FaultEvent{FaultKind::kBatchDelete,
+                                {UpdateOp::erase(0, 1)}});
+  FaultTrace b = a;
+  b.events[0].kind = FaultKind::kRegional;
+  FaultTrace c = a;
+  c.events[0].members.push_back(UpdateOp::erase(2, 3));
+  EXPECT_NE(fault_trace_digest(a), fault_trace_digest(b));
+  EXPECT_NE(fault_trace_digest(a), fault_trace_digest(c));
 }
 
 TEST(Trace, DigestDiscriminates) {
